@@ -1,0 +1,133 @@
+package govpic
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/diag"
+)
+
+// The facade tests exercise the public API end to end the way the
+// README's quickstart does.
+
+func TestFacadeQuickstart(t *testing.T) {
+	d := PlasmaOscillationDeck(16, 8, 0.25)
+	sim, err := d.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(20)
+	e := sim.Energy()
+	if e.Total <= 0 {
+		t.Fatalf("energy sample: %+v", e)
+	}
+	if sim.TotalParticles() != 16*8 {
+		t.Fatalf("particles = %d", sim.TotalParticles())
+	}
+}
+
+func TestFacadeCustomConfig(t *testing.T) {
+	cfg := Config{
+		NX: 8, NY: 4, NZ: 4,
+		DX: 0.5, DY: 0.5, DZ: 0.5,
+		DT: 0.2,
+		ParticleBC: [6]ParticleBC{
+			Wrap, Wrap, Wrap, Wrap, Wrap, Wrap,
+		},
+		Species: []SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1,
+			Load: &LoadParams{
+				Profile: func(x, y, z float64) float64 { return 0.1 },
+				PPC:     4, Nref: 0.1, Seed: 3,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(5)
+}
+
+func TestFacadeTheory(t *testing.T) {
+	m, err := MatchSRS(0.1, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Ws+m.We-1) > 1e-9 {
+		t.Fatal("matching broken through facade")
+	}
+	root, err := EPWDispersion(1.5, 0.09, 0.0036)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imag(root) >= 0 {
+		t.Fatal("no Landau damping through facade")
+	}
+}
+
+func TestFacadeUnits(t *testing.T) {
+	u := NewUnitsFromWavelength(351e-9)
+	if u.LengthUnit() <= 0 {
+		t.Fatal("bad unit system")
+	}
+	a0 := A0FromIntensity(4e15, 351e-9)
+	back := IntensityFromA0(a0, 351e-9)
+	if math.Abs(back-4e15)/4e15 > 1e-9 {
+		t.Fatal("intensity round trip")
+	}
+}
+
+func TestFacadeRoadrunnerModel(t *testing.T) {
+	m := DefaultRoadrunnerModel()
+	if got := m.SustainedPflops(3060); math.Abs(got-0.374) > 0.001 {
+		t.Fatalf("sustained = %g", got)
+	}
+	if FlopsPerParticlePush <= 0 || BytesPerParticlePush <= 0 {
+		t.Fatal("cost constants missing")
+	}
+}
+
+func TestFacadeLPIDeck(t *testing.T) {
+	p := DefaultLPIParams(0.03)
+	p.PlateauLength, p.PPC = 10, 8
+	d, err := LPIDeck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := d.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(5)
+	if _, _, err := sim.PoyntingSplit(d.Notes["probeX"]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCollisionsAndMoments(t *testing.T) {
+	d := ThermalDeck(8, 4, 4, 8, 1, 0.2, 0.05)
+	d.Cfg.Species[0].Collision = &CollisionConfig{Nu0: 0.2, Interval: 5}
+	sim, err := d.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(12)
+	rk := sim.Ranks[0]
+	m := diag.NewMoments(rk.D.G)
+	m.Accumulate(rk.Species[0].Buf)
+	m.Finalize()
+	var n float64
+	for iz := 1; iz <= rk.D.G.NZ; iz++ {
+		for iy := 1; iy <= rk.D.G.NY; iy++ {
+			for ix := 1; ix <= rk.D.G.NX; ix++ {
+				n += float64(m.Density[rk.D.G.Voxel(ix, iy, iz)])
+			}
+		}
+	}
+	n /= float64(rk.D.G.NCells())
+	if math.Abs(n-0.2) > 0.01 {
+		t.Fatalf("moment density %g, want 0.2", n)
+	}
+}

@@ -1,0 +1,107 @@
+// Command lpi runs the paper's parameter study: laser reflectivity as a
+// function of laser intensity in a hohlraum-like plasma (E7), plus the
+// trapping (E8) and time-history burstiness (E9) diagnostics.
+//
+// Usage:
+//
+//	lpi                                # default 5-point sweep, small tier
+//	lpi -a0 0.01,0.02,0.04,0.07,0.1 -scale medium -csv sweep.csv
+//	lpi -experiment trapping -a0max 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"govpic/internal/diag"
+	"govpic/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "reflectivity", "reflectivity | trapping | history | dispersion")
+		a0list = flag.String("a0", "0.01,0.02,0.04,0.07,0.1", "comma-separated pump strengths")
+		a0max  = flag.Float64("a0max", 0.05, "pump strength for trapping/history high case")
+		a0min  = flag.Float64("a0min", 0.01, "pump strength for history low case")
+		scale  = flag.String("scale", "small", "small | medium | large")
+		csv    = flag.String("csv", "", "also write the table as CSV")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var r experiments.Result
+	switch *exp {
+	case "reflectivity":
+		a0s, err := parseFloats(*a0list)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err = experiments.E7Reflectivity(a0s, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "trapping":
+		r, err = experiments.E8Trapping(*a0max, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "history":
+		r, err = experiments.E9TimeHistory(*a0min, *a0max, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "dispersion":
+		r, err = experiments.DispersionDiagram(512, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	fmt.Print(r.Format())
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := diag.WriteCSV(f, r.Headers, r.Rows); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *csv)
+	}
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "small":
+		return experiments.Small, nil
+	case "medium":
+		return experiments.Medium, nil
+	case "large":
+		return experiments.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad a0 list entry %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,17 @@
+// Command perfmodel prints the campaign tier table (E1) and the
+// calibrated Roadrunner machine-model extrapolation (E6): sustained and
+// inner-loop Pflop/s versus triblade count, reproducing the abstract's
+// 0.488 / 0.374 Pflop/s headline at the full 3060-triblade machine.
+package main
+
+import (
+	"fmt"
+
+	"govpic/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.E1Campaign(100).Format())
+	fmt.Println()
+	fmt.Print(experiments.E6RoadrunnerModel().Format())
+}

@@ -1,0 +1,206 @@
+// Command vpic runs one of the built-in input decks and emits an energy
+// history CSV, mirroring how VPIC itself is driven by compiled decks.
+//
+// Usage:
+//
+//	vpic -deck twostream -steps 2000 -out energy.csv
+//	vpic -deck lpi -a0 0.03 -steps 4000 -ranks 2
+//	vpic -deck thermal -checkpoint state.ckpt
+//	vpic -config run.json                  # file-driven deck (see deck.JSONConfig)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"govpic/internal/deck"
+	"govpic/internal/diag"
+	"govpic/internal/output"
+	"govpic/internal/perf"
+)
+
+func main() {
+	var (
+		name    = flag.String("deck", "thermal", "deck: thermal | oscillation | twostream | weibel | landau | lpi")
+		steps   = flag.Int("steps", 500, "number of time steps")
+		every   = flag.Int("every", 10, "energy sample interval (steps)")
+		ranks   = flag.Int("ranks", 1, "domain-decomposed rank count")
+		ppc     = flag.Int("ppc", 64, "particles per cell")
+		nx      = flag.Int("nx", 64, "cells along x (non-LPI decks)")
+		a0      = flag.Float64("a0", 0.02, "laser strength (lpi deck)")
+		out     = flag.String("out", "", "energy history CSV path (default stdout summary only)")
+		ckpt    = flag.String("checkpoint", "", "write a checkpoint here at the end")
+		restore = flag.String("restore", "", "restore state from this checkpoint before running")
+		dump    = flag.String("dump", "", "write a binary field snapshot here at the end")
+		summary = flag.String("summary", "", "write a JSON run summary here at the end")
+		config  = flag.String("config", "", "JSON deck config (overrides -deck and sizing flags)")
+	)
+	flag.Parse()
+
+	var d deck.Deck
+	var err error
+	if *config != "" {
+		f, ferr := os.Open(*config)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		var cfgSteps int
+		d, cfgSteps, err = deck.FromJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		*steps = cfgSteps
+	} else {
+		d, err = buildDeck(*name, *nx, *ppc, *ranks, *a0)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := d.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Restore(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("restored at step %d (t = %.3f)\n", sim.StepCount(), sim.Time())
+	}
+
+	fmt.Printf("deck %q: %d cells, %d particles, %d ranks, dt = %.4g\n",
+		d.Name, d.Cfg.NX*d.Cfg.NY*d.Cfg.NZ, sim.TotalParticles(), d.Cfg.NRanks, d.Cfg.DT)
+
+	var hist diag.History
+	hist.Add(sim.Energy())
+	wallStart := time.Now()
+	for s := 0; s < *steps; s++ {
+		sim.Step()
+		if (s+1)%*every == 0 {
+			hist.Add(sim.Energy())
+		}
+	}
+	wall := time.Since(wallStart)
+	last := hist.Samples[len(hist.Samples)-1]
+	fmt.Printf("t = %.3f  field E = %.4g  field B = %.4g  kinetic = %.4g  total = %.4g\n",
+		last.Time, last.EField, last.BField, sum(last.Kinetic), last.Total)
+	fmt.Printf("relative energy drift: %.3g\n", hist.RelativeDrift())
+	b := sim.PerfBreakdown()
+	fmt.Print(b.Report())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := make([][]float64, len(hist.Samples))
+		for i, smp := range hist.Samples {
+			rows[i] = []float64{float64(smp.Step), smp.Time, smp.EField, smp.BField, sum(smp.Kinetic), smp.Total}
+		}
+		if err := diag.WriteCSV(f, []string{"step", "time", "efield", "bfield", "kinetic", "total"}, rows); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rk := sim.Ranks[0]
+		g := rk.D.G
+		sx, sy, sz := g.Strides()
+		snaps := []output.Snapshot{
+			{Name: "ex", NX: sx, NY: sy, NZ: sz, Data: rk.D.F.Ex},
+			{Name: "ey", NX: sx, NY: sy, NZ: sz, Data: rk.D.F.Ey},
+			{Name: "ez", NX: sx, NY: sy, NZ: sz, Data: rk.D.F.Ez},
+			{Name: "cbx", NX: sx, NY: sy, NZ: sz, Data: rk.D.F.Bx},
+			{Name: "cby", NX: sx, NY: sy, NZ: sz, Data: rk.D.F.By},
+			{Name: "cbz", NX: sx, NY: sy, NZ: sz, Data: rk.D.F.Bz},
+		}
+		if err := output.WriteSnapshots(f, snaps); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (rank 0 fields)\n", *dump)
+	}
+	if *summary != "" {
+		f, err := os.Create(*summary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pushRate := perf.Rate(sim.PushedParticles(), wall)
+		err = output.WriteSummary(f, output.Summary{
+			Deck:      d.Name,
+			Steps:     sim.StepCount(),
+			Time:      sim.Time(),
+			Particles: sim.TotalParticles(),
+			Ranks:     d.Cfg.NRanks,
+			WallClock: wall.Seconds(),
+			Rates: map[string]float64{
+				"Mpart_per_s": pushRate / 1e6,
+				"Gflop_per_s": float64(sim.Flops()) / wall.Seconds() / 1e9,
+			},
+			Energy: map[string]float64{
+				"total": last.Total, "field": last.EField + last.BField,
+				"absorbed": sim.LostEnergy(),
+			},
+			Notes: d.Notes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *summary)
+	}
+	if *ckpt != "" {
+		f, err := os.Create(*ckpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Checkpoint(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("checkpoint written to %s\n", *ckpt)
+	}
+}
+
+func buildDeck(name string, nx, ppc, ranks int, a0 float64) (deck.Deck, error) {
+	switch name {
+	case "thermal":
+		return deck.Thermal(nx, 4, 4, ppc, ranks, 0.2, 0.05), nil
+	case "oscillation":
+		return deck.PlasmaOscillation(nx, ppc, 0.25), nil
+	case "twostream":
+		return deck.TwoStream(nx, ppc, 0.2, 0.1), nil
+	case "weibel":
+		return deck.Weibel(nx, ppc, 0.2, 0.1, 0.01), nil
+	case "landau":
+		return deck.Landau(nx, ppc, 2, 0.2, 0.04, 0.005), nil
+	case "lpi":
+		p := deck.DefaultLPI(a0)
+		p.NRanks = ranks
+		p.PPC = ppc
+		return deck.LPI(p)
+	default:
+		return deck.Deck{}, fmt.Errorf("unknown deck %q", name)
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

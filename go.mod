@@ -1,0 +1,3 @@
+module govpic
+
+go 1.22

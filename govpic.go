@@ -1,0 +1,142 @@
+// Package govpic is a from-scratch Go reproduction of VPIC — the
+// three-dimensional relativistic electromagnetic particle-in-cell code
+// of Bowers et al., "0.374 Pflop/s trillion-particle kinetic modeling of
+// laser plasma interaction on Roadrunner" (SC 2008) — together with the
+// substrates that paper's study depends on: the Yee-mesh FDTD Maxwell
+// solver, the charge-conserving particle kernels, the domain-decomposed
+// parallel runtime, the laser-plasma-interaction decks and diagnostics,
+// the linear-theory baselines, and the Roadrunner performance model.
+//
+// This package is the public facade: it re-exports the configuration,
+// simulation driver, deck builders and theory helpers from the internal
+// packages. Quick start:
+//
+//	d := govpic.PlasmaOscillationDeck(64, 64, 0.25)
+//	sim, err := d.New()
+//	if err != nil { ... }
+//	sim.Run(1000)
+//	fmt.Println(sim.Energy())
+//
+// See examples/ for runnable programs, DESIGN.md for the architecture
+// and EXPERIMENTS.md for the paper-reproduction results.
+package govpic
+
+import (
+	"govpic/internal/core"
+	"govpic/internal/deck"
+	"govpic/internal/diag"
+	"govpic/internal/field"
+	"govpic/internal/laser"
+	"govpic/internal/loader"
+	"govpic/internal/push"
+	"govpic/internal/roadrunner"
+	"govpic/internal/theory"
+	"govpic/internal/units"
+)
+
+// Core simulation types.
+type (
+	// Config describes a complete simulation (mesh, step, species,
+	// boundaries, drives).
+	Config = core.Config
+	// SpeciesConfig declares one kinetic species.
+	SpeciesConfig = core.SpeciesConfig
+	// CollisionConfig enables intra-species Takizuka-Abe collisions.
+	CollisionConfig = core.CollisionConfig
+	// Moments holds per-cell density/velocity/temperature diagnostics.
+	Moments = diag.Moments
+	// Reflectometer measures reflected and transmitted light at a plane.
+	Reflectometer = diag.Reflectometer
+	// Simulation is the top-level driver.
+	Simulation = core.Simulation
+	// EnergySample is one global energy measurement.
+	EnergySample = diag.EnergySample
+	// Deck bundles a configuration with setup and derived notes.
+	Deck = deck.Deck
+	// Antenna is a laser source.
+	Antenna = laser.Antenna
+	// LoadParams configures plasma loading.
+	LoadParams = loader.Params
+	// Profile maps position to density.
+	Profile = loader.Profile
+	// UnitSystem anchors code units at a reference frequency.
+	UnitSystem = units.System
+	// SRSMatch is the stimulated-Raman-scattering matching solution.
+	SRSMatch = theory.SRSMatch
+	// RoadrunnerModel extrapolates measured kernel characteristics to
+	// the paper's machine.
+	RoadrunnerModel = roadrunner.Model
+)
+
+// Field boundary conditions.
+type FieldBC = field.BC
+
+const (
+	Periodic  = field.Periodic
+	Conductor = field.Conductor
+	Absorbing = field.Absorbing
+)
+
+// Particle boundary actions.
+type ParticleBC = push.Action
+
+const (
+	Wrap    = push.Wrap
+	Reflect = push.Reflect
+	Absorb  = push.Absorb
+)
+
+// Inner-loop cost constants (audited counts; see internal/push).
+const (
+	FlopsPerParticlePush = push.FlopsPerPush
+	BytesPerParticlePush = push.BytesPerPush
+)
+
+// New builds a simulation from a configuration.
+func New(cfg Config) (*Simulation, error) { return core.New(cfg) }
+
+// Deck builders.
+var (
+	// ThermalDeck is the synthetic uniform-plasma performance workload:
+	// ThermalDeck(nx, ny, nz, ppc, nRanks, n0, uth).
+	ThermalDeck = deck.Thermal
+	// PlasmaOscillationDeck rings a cold plasma at ωpe:
+	// PlasmaOscillationDeck(nx, ppc, n0).
+	PlasmaOscillationDeck = deck.PlasmaOscillation
+	// TwoStreamDeck is the classic beam-beam instability:
+	// TwoStreamDeck(nx, ppc, n0, u0).
+	TwoStreamDeck = deck.TwoStream
+	// WeibelDeck grows magnetic field from temperature anisotropy:
+	// WeibelDeck(nx, ppc, n0, uthHot, uthCold).
+	WeibelDeck = deck.Weibel
+	// LandauDeck damps a seeded Langmuir wave kinetically:
+	// LandauDeck(nx, ppc, mode, n0, uth, amp).
+	LandauDeck = deck.Landau
+	// LPIDeck is the paper's laser-plasma workload; see DefaultLPIParams.
+	LPIDeck = deck.LPI
+	// DefaultLPIParams returns the baseline scaled parameter-study deck.
+	DefaultLPIParams = deck.DefaultLPI
+	// ScaledLPIDeck returns a campaign tier by name.
+	ScaledLPIDeck = deck.ScaledLPI
+)
+
+// LPIParams configures the laser-plasma deck.
+type LPIParams = deck.LPIParams
+
+// Theory helpers.
+var (
+	// MatchSRS solves the backscatter matching conditions.
+	MatchSRS = theory.MatchSRS
+	// EPWDispersion solves the kinetic plasma-wave dispersion relation.
+	EPWDispersion = theory.EPWDispersion
+	// NewUnitsFromWavelength anchors code units at a laser wavelength.
+	NewUnitsFromWavelength = units.NewSystemFromWavelength
+	// A0FromIntensity converts W/cm² at a wavelength to a0.
+	A0FromIntensity = units.A0FromIntensity
+	// IntensityFromA0 converts a0 at a wavelength to W/cm².
+	IntensityFromA0 = units.IntensityFromA0
+	// DefaultRoadrunnerModel returns the calibrated machine model.
+	DefaultRoadrunnerModel = func() RoadrunnerModel {
+		return roadrunner.Default(push.FlopsPerPush, push.BytesPerPush)
+	}
+)

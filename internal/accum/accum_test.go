@@ -1,0 +1,117 @@
+package accum
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/field"
+	"govpic/internal/grid"
+)
+
+func TestClear(t *testing.T) {
+	g := grid.MustNew(3, 3, 3, 1, 1, 1)
+	a := New(g)
+	a.A[5].JX[2] = 7
+	a.A[9].JZ[0] = -1
+	a.Clear()
+	for i := range a.A {
+		if a.A[i] != (Cell{}) {
+			t.Fatalf("voxel %d not cleared", i)
+		}
+	}
+}
+
+func TestUnloadSingleCellJX(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 0.5, 0.5, 0.5)
+	f := field.NewPeriodic(g)
+	a := New(g)
+	dt := 0.2
+	v := g.Voxel(2, 2, 2)
+	a.A[v].JX = [4]float32{1, 2, 3, 4}
+	a.Unload(f, dt)
+	// cx = 1/(4·dt·dy·dz) = 1/(4·0.2·0.25) = 5.
+	cx := float32(5)
+	cases := []struct {
+		ix, iy, iz int
+		want       float32
+	}{
+		{2, 2, 2, 1 * cx}, // slot 0 read at (j,k)
+		{2, 3, 2, 2 * cx}, // slot 1 read at (j+1,k)
+		{2, 2, 3, 3 * cx}, // slot 2 read at (j,k+1)
+		{2, 3, 3, 4 * cx}, // slot 3 read at (j+1,k+1)
+	}
+	for _, c := range cases {
+		got := f.Jx[g.Voxel(c.ix, c.iy, c.iz)]
+		if math.Abs(float64(got-c.want)) > 1e-6 {
+			t.Fatalf("Jx(%d,%d,%d) = %g, want %g", c.ix, c.iy, c.iz, got, c.want)
+		}
+	}
+}
+
+func TestUnloadAddsToExisting(t *testing.T) {
+	g := grid.MustNew(3, 3, 3, 1, 1, 1)
+	f := field.NewPeriodic(g)
+	a := New(g)
+	v := g.Voxel(2, 2, 2)
+	f.Jy[v] = 10 // pre-existing antenna current must survive
+	a.A[v].JY[0] = 4
+	a.Unload(f, 1)
+	want := float32(10 + 4.0/4.0)
+	if f.Jy[v] != want {
+		t.Fatalf("Jy = %g, want %g", f.Jy[v], want)
+	}
+}
+
+func TestUnloadConservesTotal(t *testing.T) {
+	// The sum over all edges of Jx·(4·dt·dy·dz) equals the sum of all
+	// accumulated JX slots, whatever the distribution.
+	g := grid.MustNew(5, 4, 3, 1, 1, 1)
+	f := field.NewPeriodic(g)
+	a := New(g)
+	var want float64
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			for ix := 1; ix <= g.NX; ix++ {
+				v := g.Voxel(ix, iy, iz)
+				for s := 0; s < 4; s++ {
+					val := float32(ix + 10*iy + 100*iz + s)
+					a.A[v].JX[s] = val
+					want += float64(val)
+				}
+			}
+		}
+	}
+	dt := 0.5
+	a.Unload(f, dt)
+	var got float64
+	for iz := 1; iz <= g.NZ+1; iz++ {
+		for iy := 1; iy <= g.NY+1; iy++ {
+			for ix := 1; ix <= g.NX; ix++ {
+				got += float64(f.Jx[g.Voxel(ix, iy, iz)])
+			}
+		}
+	}
+	got *= 4 * dt * g.DY * g.DZ
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("total Jx weight = %g, want %g", got, want)
+	}
+}
+
+func TestUnloadJZOrientation(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	f := field.NewPeriodic(g)
+	a := New(g)
+	v := g.Voxel(2, 2, 2)
+	a.A[v].JZ = [4]float32{4, 0, 0, 0} // slot 0: edge (i,j)
+	a.Unload(f, 1)
+	if f.Jz[v] != 1 {
+		t.Fatalf("Jz slot0 landed wrong: %g", f.Jz[v])
+	}
+	a.Clear()
+	f.ClearJ()
+	a.A[v].JZ = [4]float32{0, 4, 0, 0} // slot 1: edge (i+1,j)
+	a.Unload(f, 1)
+	if f.Jz[g.Voxel(3, 2, 2)] != 1 {
+		t.Fatalf("Jz slot1 landed wrong")
+	}
+}

@@ -1,0 +1,164 @@
+package collision
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+	"govpic/internal/rng"
+	psort "govpic/internal/sort"
+)
+
+func thermalBuffer(g *grid.Grid, ppc int, uthX, uthY, uthZ float64, seed uint64) *particle.Buffer {
+	src := rng.New(seed, 0)
+	buf := particle.NewBuffer(0)
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			for ix := 1; ix <= g.NX; ix++ {
+				for n := 0; n < ppc; n++ {
+					buf.Append(particle.Particle{
+						Voxel: int32(g.Voxel(ix, iy, iz)),
+						Ux:    float32(src.Maxwellian(uthX)),
+						Uy:    float32(src.Maxwellian(uthY)),
+						Uz:    float32(src.Maxwellian(uthZ)),
+						W:     1,
+					})
+				}
+			}
+		}
+	}
+	ws := psort.NewWorkspace(g.NV())
+	ws.ByVoxel(buf, g.NV())
+	return buf
+}
+
+func moments(buf *particle.Buffer) (px, py, pz, ke, t2x, t2y, t2z float64) {
+	for _, p := range buf.P {
+		px += float64(p.Ux)
+		py += float64(p.Uy)
+		pz += float64(p.Uz)
+		u2 := float64(p.Ux)*float64(p.Ux) + float64(p.Uy)*float64(p.Uy) + float64(p.Uz)*float64(p.Uz)
+		ke += u2
+		t2x += float64(p.Ux) * float64(p.Ux)
+		t2y += float64(p.Uy) * float64(p.Uy)
+		t2z += float64(p.Uz) * float64(p.Uz)
+	}
+	return
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 0.1, 1, 1, 0); err == nil {
+		t.Error("accepted negative frequency")
+	}
+	if _, err := New(1, 0, 1, 1, 0); err == nil {
+		t.Error("accepted zero reference spread")
+	}
+	if _, err := New(1, 0.1, 0, 1, 0); err == nil {
+		t.Error("accepted interval 0")
+	}
+}
+
+func TestDue(t *testing.T) {
+	o, _ := New(1, 0.1, 5, 1, 0)
+	if o.Due(0) || o.Due(3) {
+		t.Error("due off schedule")
+	}
+	if !o.Due(5) || !o.Due(10) {
+		t.Error("not due on schedule")
+	}
+	off, _ := New(0, 0.1, 5, 1, 0)
+	if off.Due(5) {
+		t.Error("zero-frequency operator due")
+	}
+}
+
+// TestConservation: the TA77 scatter must conserve momentum exactly and
+// kinetic energy to float32 rounding, pair by pair.
+func TestConservation(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	buf := thermalBuffer(g, 64, 0.1, 0.1, 0.1, 3)
+	o, _ := New(5.0, 0.1, 1, 7, 0)
+	px0, py0, pz0, ke0, _, _, _ := moments(buf)
+	for i := 0; i < 20; i++ {
+		o.Apply(g, buf, 0.1)
+	}
+	px1, py1, pz1, ke1, _, _, _ := moments(buf)
+	n := float64(buf.N())
+	if math.Abs(px1-px0)/n > 1e-6 || math.Abs(py1-py0)/n > 1e-6 || math.Abs(pz1-pz0)/n > 1e-6 {
+		t.Fatalf("momentum drifted: (%g,%g,%g) → (%g,%g,%g)", px0, py0, pz0, px1, py1, pz1)
+	}
+	if math.Abs(ke1-ke0)/ke0 > 1e-4 {
+		t.Fatalf("kinetic energy drifted: %g → %g", ke0, ke1)
+	}
+}
+
+// TestIsotropization: collisions must relax a temperature anisotropy
+// toward isotropy — the defining physical behaviour of the operator.
+func TestIsotropization(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	buf := thermalBuffer(g, 128, 0.15, 0.05, 0.05, 5)
+	o, _ := New(2.0, 0.1, 1, 9, 0)
+	_, _, _, _, x0, y0, _ := moments(buf)
+	aniso0 := x0 / y0
+	for i := 0; i < 60; i++ {
+		o.Apply(g, buf, 0.1)
+	}
+	_, _, _, _, x1, y1, _ := moments(buf)
+	aniso1 := x1 / y1
+	if aniso0 < 5 {
+		t.Fatalf("setup: initial anisotropy %g too small", aniso0)
+	}
+	if aniso1 > aniso0/2 {
+		t.Fatalf("anisotropy %g → %g: not relaxing", aniso0, aniso1)
+	}
+	if aniso1 < 0.5 {
+		t.Fatalf("anisotropy overshot below isotropy: %g", aniso1)
+	}
+}
+
+func TestZeroFrequencyIsNoop(t *testing.T) {
+	g := grid.MustNew(2, 2, 2, 1, 1, 1)
+	buf := thermalBuffer(g, 16, 0.1, 0.1, 0.1, 1)
+	before := append([]particle.Particle(nil), buf.P...)
+	o, _ := New(0, 0.1, 1, 1, 0)
+	o.Apply(g, buf, 0.1)
+	for i := range before {
+		if before[i] != buf.P[i] {
+			t.Fatal("zero-frequency operator changed particles")
+		}
+	}
+}
+
+func TestCollisionsStayWithinCells(t *testing.T) {
+	// Particles in different cells must never exchange momentum: with
+	// one particle per cell, nothing can change.
+	g := grid.MustNew(4, 1, 1, 1, 1, 1)
+	buf := particle.NewBuffer(0)
+	for ix := 1; ix <= 4; ix++ {
+		buf.Append(particle.Particle{Voxel: int32(g.Voxel(ix, 1, 1)), Ux: float32(ix), W: 1})
+	}
+	o, _ := New(100, 1, 1, 1, 0)
+	o.Apply(g, buf, 1)
+	for i, p := range buf.P {
+		if p.Ux != float32(i+1) {
+			t.Fatalf("lone particle %d scattered: ux = %g", i, p.Ux)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := grid.MustNew(2, 2, 2, 1, 1, 1)
+	run := func() []particle.Particle {
+		buf := thermalBuffer(g, 32, 0.1, 0.1, 0.1, 11)
+		o, _ := New(1, 0.1, 1, 42, 0)
+		o.Apply(g, buf, 0.1)
+		return append([]particle.Particle(nil), buf.P...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("collisions not deterministic for a fixed seed")
+		}
+	}
+}

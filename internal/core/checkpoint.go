@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"govpic/internal/particle"
+)
+
+// Checkpointing serializes the complete dynamic state — fields and
+// particles of every rank plus the step/time counters — so a run can be
+// stopped and resumed bit-exactly (the evolution is deterministic and
+// the RNG is only used at load time). The configuration itself is not
+// stored; Restore validates that the receiving simulation's geometry
+// matches.
+
+const checkpointMagic = "GOVPIC-CKPT-1\n"
+
+type cpWriter struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (c *cpWriter) u64(v uint64) {
+	if c.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(c.buf[:], v)
+	_, c.err = c.w.Write(c.buf[:8])
+}
+
+func (c *cpWriter) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+func (c *cpWriter) f32s(a []float32) {
+	if c.err != nil {
+		return
+	}
+	for _, v := range a {
+		binary.LittleEndian.PutUint32(c.buf[:4], math.Float32bits(v))
+		if _, c.err = c.w.Write(c.buf[:4]); c.err != nil {
+			return
+		}
+	}
+}
+
+type cpReader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+func (c *cpReader) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if _, c.err = io.ReadFull(c.r, c.buf[:8]); c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(c.buf[:8])
+}
+
+func (c *cpReader) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cpReader) f32s(a []float32) {
+	if c.err != nil {
+		return
+	}
+	for i := range a {
+		if _, c.err = io.ReadFull(c.r, c.buf[:4]); c.err != nil {
+			return
+		}
+		a[i] = math.Float32frombits(binary.LittleEndian.Uint32(c.buf[:4]))
+	}
+}
+
+// Checkpoint writes the full dynamic state to w.
+func (s *Simulation) Checkpoint(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	c := &cpWriter{w: bw}
+	c.u64(uint64(s.Cfg.NX))
+	c.u64(uint64(s.Cfg.NY))
+	c.u64(uint64(s.Cfg.NZ))
+	c.u64(uint64(len(s.Ranks)))
+	c.u64(uint64(len(s.Cfg.Species)))
+	c.u64(uint64(s.step))
+	c.f64(s.time)
+	for _, rk := range s.Ranks {
+		f := rk.D.F
+		for _, a := range [][]float32{f.Ex, f.Ey, f.Ez, f.Bx, f.By, f.Bz, f.Jx, f.Jy, f.Jz} {
+			c.f32s(a)
+		}
+		if rk.rho0 != nil {
+			c.u64(1)
+			c.f32s(rk.rho0)
+		} else {
+			c.u64(0)
+		}
+		for _, sp := range rk.Species {
+			c.u64(uint64(sp.Buf.N()))
+			for i := range sp.Buf.P {
+				p := &sp.Buf.P[i]
+				c.f32s([]float32{p.Dx, p.Dy, p.Dz})
+				c.u64(uint64(uint32(p.Voxel)))
+				c.f32s([]float32{p.Ux, p.Uy, p.Uz, p.W})
+			}
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	return bw.Flush()
+}
+
+// Restore loads a checkpoint written by a simulation with the same
+// geometry, rank count and species list, replacing all dynamic state.
+func (s *Simulation) Restore(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("core: not a checkpoint (bad magic)")
+	}
+	c := &cpReader{r: br}
+	nx, ny, nz := c.u64(), c.u64(), c.u64()
+	nRanks, nSpecies := c.u64(), c.u64()
+	step := c.u64()
+	tme := c.f64()
+	if c.err != nil {
+		return c.err
+	}
+	if int(nx) != s.Cfg.NX || int(ny) != s.Cfg.NY || int(nz) != s.Cfg.NZ ||
+		int(nRanks) != len(s.Ranks) || int(nSpecies) != len(s.Cfg.Species) {
+		return fmt.Errorf("core: checkpoint geometry %dx%dx%d/%d ranks/%d species does not match simulation",
+			nx, ny, nz, nRanks, nSpecies)
+	}
+	for _, rk := range s.Ranks {
+		f := rk.D.F
+		for _, a := range [][]float32{f.Ex, f.Ey, f.Ez, f.Bx, f.By, f.Bz, f.Jx, f.Jy, f.Jz} {
+			c.f32s(a)
+		}
+		if c.u64() == 1 {
+			if rk.rho0 == nil {
+				rk.rho0 = make([]float32, rk.D.G.NV())
+			}
+			c.f32s(rk.rho0)
+		} else {
+			rk.rho0 = nil
+		}
+		for _, sp := range rk.Species {
+			n := int(c.u64())
+			if c.err != nil {
+				return c.err
+			}
+			sp.Buf.Clear()
+			tmp := make([]float32, 3)
+			tmp2 := make([]float32, 4)
+			for i := 0; i < n; i++ {
+				var p particle.Particle
+				c.f32s(tmp)
+				p.Dx, p.Dy, p.Dz = tmp[0], tmp[1], tmp[2]
+				p.Voxel = int32(uint32(c.u64()))
+				c.f32s(tmp2)
+				p.Ux, p.Uy, p.Uz, p.W = tmp2[0], tmp2[1], tmp2[2], tmp2[3]
+				sp.Buf.Append(p)
+			}
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	s.step = int(step)
+	s.time = tme
+	// Rebuild derived state.
+	s.onAllRanks(func(rk *Rank) {
+		rk.IP.Load(rk.D.F)
+	})
+	return nil
+}

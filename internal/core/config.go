@@ -1,0 +1,145 @@
+// Package core assembles the substrates into the full simulation: it
+// owns the multi-rank world, orchestrates the VPIC time step (sort →
+// interpolate → push/deposit → particle exchange → current reduction →
+// field advance → divergence cleaning), and exposes global diagnostics
+// and checkpointing.
+package core
+
+import (
+	"fmt"
+
+	"govpic/internal/field"
+	"govpic/internal/grid"
+	"govpic/internal/laser"
+	"govpic/internal/loader"
+	"govpic/internal/push"
+)
+
+// SpeciesConfig declares one kinetic species.
+type SpeciesConfig struct {
+	Name string
+	// Q and M in units of e and me.
+	Q, M float64
+	// SortInterval: steps between counting sorts (0 disables).
+	SortInterval int
+	// Load describes the initial plasma; nil starts the species empty.
+	Load *loader.Params
+	// NeutralizePrevious co-locates this species with the previously
+	// declared species' particles (ignoring Load), producing an exactly
+	// neutral start. Q must be positive and is used as the charge state.
+	NeutralizePrevious bool
+	// Collision optionally enables intra-species Takizuka-Abe binary
+	// collisions (extension feature; the paper's SRS runs are
+	// collisionless on their timescales).
+	Collision *CollisionConfig
+}
+
+// CollisionConfig configures a species' collision operator.
+type CollisionConfig struct {
+	// Nu0 is the reference collision frequency in code units.
+	Nu0 float64
+	// Interval is the number of steps between applications (≥1); the
+	// operator scales its scattering variance accordingly.
+	Interval int
+}
+
+// Config describes a complete simulation.
+type Config struct {
+	// Global interior cell counts and cell sizes (code units).
+	NX, NY, NZ int
+	DX, DY, DZ float64
+	// Domain origin.
+	X0, Y0, Z0 float64
+	// DT is the time step; it must be positive and below the Courant
+	// limit of the cell.
+	DT float64
+	// NRanks decomposes the domain; 1 runs single-rank.
+	NRanks int
+
+	FieldBC    [field.NumFaces]field.BC
+	ParticleBC [field.NumFaces]push.Action
+
+	Species []SpeciesConfig
+
+	// Lasers optionally drive antennas (pump, seeds, ...).
+	Lasers []*laser.Antenna
+
+	// CleanInterval applies CleanPasses Marder div-E (and div-B) passes
+	// every CleanInterval steps (0 disables cleaning).
+	CleanInterval int
+	CleanPasses   int
+
+	// NeutralizingBackground captures the initial charge density as a
+	// static immobile background, so div-E cleaning targets
+	// ρ_mobile − ρ_initial. Use for electron-only decks (immobile ions).
+	NeutralizingBackground bool
+
+	// UseReferencePusher switches every species to the unoptimized
+	// baseline kernel (for the ablation benchmarks).
+	UseReferencePusher bool
+}
+
+// Validate checks the configuration and returns a descriptive error.
+func (c *Config) Validate() error {
+	if c.NRanks == 0 {
+		c.NRanks = 1
+	}
+	if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
+		return fmt.Errorf("core: cell counts %d×%d×%d invalid", c.NX, c.NY, c.NZ)
+	}
+	if c.DX <= 0 || c.DY <= 0 || c.DZ <= 0 {
+		return fmt.Errorf("core: cell sizes must be positive")
+	}
+	g, err := grid.New(c.NX, c.NY, c.NZ, c.DX, c.DY, c.DZ, c.X0, c.Y0, c.Z0)
+	if err != nil {
+		return err
+	}
+	if c.DT <= 0 || c.DT >= g.CourantLimit() {
+		return fmt.Errorf("core: DT %g outside (0, %g) Courant window", c.DT, g.CourantLimit())
+	}
+	if len(c.Species) == 0 {
+		return fmt.Errorf("core: no species declared")
+	}
+	names := map[string]bool{}
+	for i, s := range c.Species {
+		if s.Name == "" || names[s.Name] {
+			return fmt.Errorf("core: species %d has empty or duplicate name %q", i, s.Name)
+		}
+		names[s.Name] = true
+		if s.M <= 0 || s.Q == 0 {
+			return fmt.Errorf("core: species %q has invalid Q=%g M=%g", s.Name, s.Q, s.M)
+		}
+		if s.NeutralizePrevious {
+			if i == 0 {
+				return fmt.Errorf("core: species %q cannot neutralize: no previous species", s.Name)
+			}
+			if s.Q <= 0 {
+				return fmt.Errorf("core: neutralizing species %q needs positive charge", s.Name)
+			}
+		}
+		if s.Collision != nil {
+			if s.Collision.Nu0 < 0 || s.Collision.Interval < 1 {
+				return fmt.Errorf("core: species %q has invalid collision config %+v", s.Name, *s.Collision)
+			}
+		}
+	}
+	for _, a := range c.Lasers {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.CleanInterval < 0 || c.CleanPasses < 0 {
+		return fmt.Errorf("core: negative cleaning parameters")
+	}
+	if c.CleanInterval > 0 && c.CleanPasses == 0 {
+		c.CleanPasses = 2
+	}
+	return nil
+}
+
+// CourantDT returns frac times the global Courant limit, a convenience
+// for deck builders.
+func (c *Config) CourantDT(frac float64) float64 {
+	g := grid.MustNew(c.NX, c.NY, c.NZ, c.DX, c.DY, c.DZ)
+	return frac * g.CourantLimit()
+}

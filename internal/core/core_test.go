@@ -1,0 +1,521 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"govpic/internal/field"
+	"govpic/internal/laser"
+	"govpic/internal/loader"
+	"govpic/internal/push"
+)
+
+// periodicPlasma builds a quasi-1D periodic electron plasma deck with an
+// immobile neutralizing background.
+func periodicPlasma(nx int, n0, uth float64, ppc int, nRanks int) Config {
+	allWrap := [6]push.Action{push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap}
+	return Config{
+		NX: nx, NY: 1, NZ: 1,
+		DX: 0.5, DY: 1, DZ: 1,
+		DT:     0.2,
+		NRanks: nRanks,
+		// All periodic (the zero value of field.BC).
+		ParticleBC: allWrap,
+		Species: []SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1, SortInterval: 10,
+			Load: &loader.Params{
+				Profile: loader.Uniform(n0), PPC: ppc, Nref: n0,
+				Uth: [3]float64{uth, uth, uth}, Seed: 11,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := periodicPlasma(16, 0.25, 0.01, 8, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.DT = 10
+	if bad.Validate() == nil {
+		t.Error("accepted DT above Courant limit")
+	}
+	bad = good
+	bad.Species = nil
+	if bad.Validate() == nil {
+		t.Error("accepted empty species list")
+	}
+	bad = good
+	bad.Species = append([]SpeciesConfig{}, good.Species...)
+	bad.Species = append(bad.Species, bad.Species[0])
+	if bad.Validate() == nil {
+		t.Error("accepted duplicate species name")
+	}
+	bad = good
+	bad.NX = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero cells")
+	}
+}
+
+func TestNewLoadsParticles(t *testing.T) {
+	s, err := New(periodicPlasma(16, 0.25, 0.01, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalParticles(); got != 16*8 {
+		t.Fatalf("loaded %d particles, want %d", got, 16*8)
+	}
+}
+
+// TestPlasmaOscillation is the canonical PIC validation: a cold plasma
+// with a small sinusoidal velocity perturbation rings at the plasma
+// frequency ωpe = sqrt(n/ncr).
+func TestPlasmaOscillation(t *testing.T) {
+	n0 := 0.25 // ωpe = 0.5
+	cfg := periodicPlasma(32, n0, 0.0005, 64, 1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a standing velocity perturbation u = A·sin(kx), mode 1.
+	g := s.Ranks[0].D.G
+	lx, _, _ := g.Extent()
+	k := 2 * math.Pi / lx
+	for i := range s.Ranks[0].Species[0].Buf.P {
+		p := &s.Ranks[0].Species[0].Buf.P[i]
+		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
+		p.Ux += float32(0.01 * math.Sin(k*x))
+	}
+
+	probe := g.Voxel(8, 1, 1)
+	prev := float64(s.Ranks[0].D.F.Ex[probe])
+	var crossT []float64
+	for step := 0; step < 500 && len(crossT) < 9; step++ {
+		s.Step()
+		cur := float64(s.Ranks[0].D.F.Ex[probe])
+		if (prev < 0 && cur >= 0) || (prev > 0 && cur <= 0) {
+			crossT = append(crossT, s.Time())
+		}
+		prev = cur
+	}
+	if len(crossT) < 9 {
+		t.Fatalf("only %d zero crossings seen", len(crossT))
+	}
+	period := 2 * (crossT[8] - crossT[0]) / 8
+	omega := 2 * math.Pi / period
+	wpe := math.Sqrt(n0)
+	if math.Abs(omega-wpe)/wpe > 0.03 {
+		t.Fatalf("plasma frequency = %g, want %g (±3%%)", omega, wpe)
+	}
+}
+
+func TestEnergyConservationThermal(t *testing.T) {
+	cfg := periodicPlasma(32, 0.2, 0.05, 64, 1)
+	cfg.CleanInterval = 20
+	cfg.CleanPasses = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.Energy()
+	s.Run(300)
+	e1 := s.Energy()
+	drift := math.Abs(e1.Total-e0.Total) / e0.Total
+	if drift > 0.01 {
+		t.Fatalf("energy drifted %.3g over 300 steps (from %g to %g)", drift, e0.Total, e1.Total)
+	}
+	if s.TotalParticles() != 32*64 {
+		t.Fatalf("lost particles: %d", s.TotalParticles())
+	}
+}
+
+func TestGaussLawMaintained(t *testing.T) {
+	cfg := periodicPlasma(16, 0.2, 0.08, 32, 1)
+	cfg.CleanInterval = 10
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	// Recompute div E − ρ (with background) on rank 0.
+	rk := s.Ranks[0]
+	clear(rk.rho)
+	rk.depositAllRho(rk.rho)
+	rk.D.F.FoldNodeScalar(rk.rho)
+	if rk.rho0 != nil {
+		for i, v := range rk.rho0 {
+			rk.rho[i] += v
+		}
+	}
+	_, errRMS := rk.D.F.DivEError(rk.rho, rk.scratch)
+	// Scale: ρ itself is ~n0 = 0.2.
+	if errRMS > 0.01 {
+		t.Fatalf("Gauss law error RMS = %g after 100 steps with cleaning", errRMS)
+	}
+}
+
+// TestDecompositionEquivalence: the same deck run on 1, 2 and 4 ranks
+// must produce the same physics (identical particle counts, energies
+// equal to float32 accumulation tolerance).
+func TestDecompositionEquivalence(t *testing.T) {
+	run := func(nRanks int) ([]float64, int) {
+		cfg := periodicPlasma(32, 0.2, 0.05, 32, nRanks)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(25)
+		e := s.Energy()
+		return []float64{e.EField, e.BField, e.Kinetic[0]}, s.TotalParticles()
+	}
+	e1, n1 := run(1)
+	e2, n2 := run(2)
+	e4, n4 := run(4)
+	if n1 != n2 || n1 != n4 {
+		t.Fatalf("particle counts differ: %d / %d / %d", n1, n2, n4)
+	}
+	for i := range e1 {
+		for _, other := range [][]float64{e2, e4} {
+			den := math.Max(math.Abs(e1[i]), 1e-12)
+			if math.Abs(e1[i]-other[i])/den > 1e-4 {
+				t.Fatalf("energy component %d differs across decompositions: %v vs %v", i, e1, other)
+			}
+		}
+	}
+}
+
+func TestTwoSpeciesNeutralStart(t *testing.T) {
+	cfg := periodicPlasma(16, 0.2, 0.02, 16, 1)
+	cfg.NeutralizingBackground = false
+	cfg.Species = append(cfg.Species, SpeciesConfig{
+		Name: "proton", Q: 1, M: 1836, SortInterval: 50,
+		NeutralizePrevious: true,
+		Load:               &loader.Params{Uth: [3]float64{0.0005, 0.0005, 0.0005}, Seed: 12},
+	})
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalParticles() != 2*16*16 {
+		t.Fatalf("particles = %d", s.TotalParticles())
+	}
+	// Exactly neutral start: rho ≈ 0 everywhere.
+	rk := s.Ranks[0]
+	clear(rk.rho)
+	rk.depositAllRho(rk.rho)
+	rk.D.F.FoldNodeScalar(rk.rho)
+	for iz := 1; iz <= rk.D.G.NZ; iz++ {
+		for iy := 1; iy <= rk.D.G.NY; iy++ {
+			for ix := 1; ix <= rk.D.G.NX; ix++ {
+				if r := rk.rho[rk.D.G.Voxel(ix, iy, iz)]; math.Abs(float64(r)) > 1e-5 {
+					t.Fatalf("non-neutral start: rho(%d,%d,%d) = %g", ix, iy, iz, r)
+				}
+			}
+		}
+	}
+	s.Run(50)
+	if s.TotalParticles() != 2*16*16 {
+		t.Fatal("lost particles in two-species run")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := periodicPlasma(16, 0.2, 0.05, 16, 1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	want := s.Energy()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.StepCount() != 10 {
+		t.Fatalf("restored step = %d, want 10", s2.StepCount())
+	}
+	s2.Run(10)
+	got := s2.Energy()
+	if got.Total != want.Total || got.EField != want.EField {
+		t.Fatalf("restored run diverged: %+v vs %+v", got, want)
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	s, _ := New(periodicPlasma(16, 0.2, 0.05, 8, 1))
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := New(periodicPlasma(32, 0.2, 0.05, 8, 1))
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("accepted mismatched checkpoint")
+	}
+	if err := other.Restore(bytes.NewReader([]byte("garbage data here..."))); err == nil {
+		t.Fatal("accepted garbage checkpoint")
+	}
+}
+
+func TestReferencePusherEquivalence(t *testing.T) {
+	mk := func(ref bool) []float64 {
+		cfg := periodicPlasma(16, 0.2, 0.05, 16, 1)
+		cfg.UseReferencePusher = ref
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(20)
+		e := s.Energy()
+		return []float64{e.EField, e.Kinetic[0]}
+	}
+	opt := mk(false)
+	ref := mk(true)
+	for i := range opt {
+		if math.Abs(opt[i]-ref[i])/math.Max(opt[i], 1e-12) > 1e-3 {
+			t.Fatalf("pushers disagree: %v vs %v", opt, ref)
+		}
+	}
+}
+
+func TestFlopsAccounting(t *testing.T) {
+	cfg := periodicPlasma(16, 0.2, 0.01, 8, 1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	wantPushes := int64(5 * 16 * 8)
+	if got := s.PushedParticles(); got != wantPushes {
+		t.Fatalf("pushed %d, want %d", got, wantPushes)
+	}
+	if s.Flops() < wantPushes*push.FlopsPerPush {
+		t.Fatal("flop count below minimum")
+	}
+}
+
+func TestPerfBreakdownPopulated(t *testing.T) {
+	s, err := New(periodicPlasma(16, 0.2, 0.01, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	b := s.PerfBreakdown()
+	if b.Total() == 0 {
+		t.Fatal("no time recorded")
+	}
+	if s.CommBytes() == 0 {
+		t.Fatal("no communication recorded on 2 ranks")
+	}
+}
+
+func TestLaserVacuumRun(t *testing.T) {
+	a0 := 0.02
+	cfg := Config{
+		NX: 240, NY: 1, NZ: 1,
+		DX: 0.2, DY: 1, DZ: 1,
+		DT: 0.19,
+		FieldBC: [6]field.BC{
+			field.XLo: field.Absorbing, field.XHi: field.Absorbing,
+			field.YLo: field.Periodic, field.YHi: field.Periodic,
+			field.ZLo: field.Periodic, field.ZHi: field.Periodic,
+		},
+		ParticleBC: [6]push.Action{
+			field.XLo: push.Absorb, field.XHi: push.Absorb,
+			field.YLo: push.Wrap, field.YHi: push.Wrap,
+			field.ZLo: push.Wrap, field.ZHi: push.Wrap,
+		},
+		Species: []SpeciesConfig{{Name: "electron", Q: -1, M: 1}},
+		Lasers:  []*laser.Antenna{{XGlobal: 2, Omega: 1, A0: a0, RampTime: 10}},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run long enough for the ramped wave front to pass the probe and
+	// reach steady state, then time-average the flux over a full cycle.
+	s.Run(int(40 / cfg.DT))
+	var fw, bw float64
+	cycleSteps := int(2 * math.Pi / cfg.DT)
+	for i := 0; i < cycleSteps; i++ {
+		s.Step()
+		f, b, err := s.PoyntingSplit(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw += f
+		bw += b
+	}
+	fw /= float64(cycleSteps)
+	bw /= float64(cycleSteps)
+	// Forward flux of an a0 wave: ⟨E²⟩ = a0²/2.
+	want := a0 * a0 / 2
+	if math.Abs(fw-want)/want > 0.1 {
+		t.Fatalf("forward flux %g, want %g ±10%%", fw, want)
+	}
+	if bw > 0.02*fw {
+		t.Fatalf("vacuum run shows backward flux %g (forward %g)", bw, fw)
+	}
+}
+
+func TestCollisionalRunConserves(t *testing.T) {
+	cfg := periodicPlasma(8, 0.2, 0.05, 32, 1)
+	cfg.Species[0].Collision = &CollisionConfig{Nu0: 0.5, Interval: 2}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.Energy()
+	s.Run(60)
+	e1 := s.Energy()
+	if math.Abs(e1.Total-e0.Total)/e0.Total > 0.01 {
+		t.Fatalf("collisional run energy drift: %g → %g", e0.Total, e1.Total)
+	}
+	if s.TotalParticles() != 8*32 {
+		t.Fatal("collisional run lost particles")
+	}
+}
+
+func TestCollisionConfigValidation(t *testing.T) {
+	cfg := periodicPlasma(8, 0.2, 0.05, 8, 1)
+	cfg.Species[0].Collision = &CollisionConfig{Nu0: 1, Interval: 0}
+	if cfg.Validate() == nil {
+		t.Fatal("accepted interval 0")
+	}
+}
+
+// TestLPIDecompositionEquivalence checks the bounded (Mur-absorbing)
+// geometry across decompositions: rank 0 owns a local Mur wall plus a
+// remote face, the hardest mixed case.
+func TestLPIDecompositionEquivalence(t *testing.T) {
+	run := func(nRanks int) []float64 {
+		cfg := Config{
+			NX: 64, NY: 1, NZ: 1,
+			DX: 0.25, DY: 1, DZ: 1,
+			DT:     0.23,
+			NRanks: nRanks,
+			FieldBC: [6]field.BC{
+				field.XLo: field.Absorbing, field.XHi: field.Absorbing,
+				field.YLo: field.Periodic, field.YHi: field.Periodic,
+				field.ZLo: field.Periodic, field.ZHi: field.Periodic,
+			},
+			ParticleBC: [6]push.Action{
+				field.XLo: push.Absorb, field.XHi: push.Absorb,
+				field.YLo: push.Wrap, field.YHi: push.Wrap,
+				field.ZLo: push.Wrap, field.ZHi: push.Wrap,
+			},
+			Species: []SpeciesConfig{{
+				Name: "electron", Q: -1, M: 1, SortInterval: 10,
+				Load: &loader.Params{
+					Profile: loader.Slab(0.1, 4, 12, 2), PPC: 32, Nref: 0.1,
+					Uth: [3]float64{0.07, 0.07, 0.07}, Seed: 77,
+				},
+			}},
+			Lasers:                 []*laser.Antenna{{XGlobal: 0.5, Omega: 1, A0: 0.03, RampTime: 10}},
+			NeutralizingBackground: true,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(60)
+		e := s.Energy()
+		return []float64{e.EField, e.BField, e.Kinetic[0], float64(s.TotalParticles())}
+	}
+	e1 := run(1)
+	e2 := run(2)
+	for i := range e1 {
+		den := math.Max(math.Abs(e1[i]), 1e-12)
+		if math.Abs(e1[i]-e2[i])/den > 2e-4 {
+			t.Fatalf("bounded-domain decomposition mismatch at component %d: %v vs %v", i, e1, e2)
+		}
+	}
+}
+
+// TestAbsorbedEnergyBudget: with absorbing walls, the energy leaving
+// with absorbed particles must account for the drop in total energy.
+func TestAbsorbedEnergyBudget(t *testing.T) {
+	cfg := Config{
+		NX: 32, NY: 1, NZ: 1,
+		DX: 0.5, DY: 1, DZ: 1,
+		DT: 0.2,
+		FieldBC: [6]field.BC{
+			field.XLo: field.Absorbing, field.XHi: field.Absorbing,
+			field.YLo: field.Periodic, field.YHi: field.Periodic,
+			field.ZLo: field.Periodic, field.ZHi: field.Periodic,
+		},
+		ParticleBC: [6]push.Action{
+			field.XLo: push.Absorb, field.XHi: push.Absorb,
+			field.YLo: push.Wrap, field.YHi: push.Wrap,
+			field.ZLo: push.Wrap, field.ZHi: push.Wrap,
+		},
+		Species: []SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1,
+			Load: &loader.Params{
+				Profile: loader.Uniform(0.05), PPC: 64, Nref: 0.05,
+				Uth: [3]float64{0.1, 0.1, 0.1}, Seed: 5,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.Energy().Total
+	s.Run(150)
+	e1 := s.Energy().Total
+	lost := s.LostEnergy()
+	if s.TotalParticles() == 32*64 {
+		t.Fatal("no particles were absorbed; test is vacuous")
+	}
+	if lost <= 0 {
+		t.Fatal("no absorbed energy recorded")
+	}
+	// Budget: initial = remaining + absorbed (fields radiated through
+	// Mur and space-charge work make this approximate).
+	imbalance := math.Abs(e0-(e1+lost)) / e0
+	if imbalance > 0.05 {
+		t.Fatalf("energy budget open by %.1f%%: e0=%g e1=%g lost=%g", 100*imbalance, e0, e1, lost)
+	}
+}
+
+func TestCheckpointRoundTripMultiRank(t *testing.T) {
+	cfg := periodicPlasma(16, 0.2, 0.05, 16, 2)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(8)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(8)
+	want := s.Energy()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(8)
+	got := s2.Energy()
+	if got.Total != want.Total {
+		t.Fatalf("multi-rank restore diverged: %g vs %g", got.Total, want.Total)
+	}
+}

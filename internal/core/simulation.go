@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"govpic/internal/accum"
+	"govpic/internal/collision"
+	"govpic/internal/diag"
+	"govpic/internal/domain"
+	"govpic/internal/grid"
+	"govpic/internal/interp"
+	"govpic/internal/loader"
+	"govpic/internal/mp"
+	"govpic/internal/particle"
+	"govpic/internal/perf"
+	"govpic/internal/push"
+	psort "govpic/internal/sort"
+	"govpic/internal/species"
+)
+
+// Rank is one decomposed tile's full state. Exported fields support
+// diagnostics and tests; mutate nothing between Step calls.
+type Rank struct {
+	D       *domain.Domain
+	IP      *interp.Table
+	Acc     *accum.Array
+	Species []*species.Species
+	Kernels []*push.Kernel
+	Perf    perf.Breakdown
+	// Colliders holds per-species collision operators (nil when the
+	// species is collisionless).
+	Colliders []*collision.Operator
+
+	sortWS  *psort.Workspace
+	rho     []float32 // scratch charge density
+	rho0    []float32 // static background (NeutralizingBackground)
+	scratch []float32
+}
+
+// Simulation is the top-level driver: it owns all ranks and advances
+// them in lockstep. Between Step calls all rank state is quiescent and
+// may be read by diagnostics.
+type Simulation struct {
+	Cfg   Config
+	World *mp.World
+	Ranks []*Rank
+
+	step int
+	time float64
+
+	wg sync.WaitGroup
+}
+
+// New builds and initializes a simulation: decomposition, field
+// allocation, particle loading (decomposition-invariant), neutralizing
+// backgrounds, and first interpolator load.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dec, err := grid.ChooseDecomp(cfg.NRanks, cfg.NX, cfg.NY, cfg.NZ)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := domain.Config{
+		Dec: dec, DX: cfg.DX, DY: cfg.DY, DZ: cfg.DZ,
+		X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0,
+		FieldBC: cfg.FieldBC, ParticleBC: cfg.ParticleBC,
+	}
+	world := mp.NewWorld(cfg.NRanks)
+	s := &Simulation{Cfg: cfg, World: world, Ranks: make([]*Rank, cfg.NRanks)}
+	gl := loader.Global{NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ, X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0}
+
+	for r := 0; r < cfg.NRanks; r++ {
+		d, err := domain.New(dcfg, world.Comm(r))
+		if err != nil {
+			return nil, err
+		}
+		rk := &Rank{
+			D:   d,
+			IP:  interp.NewTable(d.G),
+			Acc: accum.New(d.G),
+		}
+		rk.sortWS = psort.NewWorkspace(d.G.NV())
+		rk.rho = make([]float32, d.G.NV())
+		rk.scratch = make([]float32, d.G.NV())
+
+		for i, sc := range cfg.Species {
+			sp, err := species.New(sc.Name, sc.Q, sc.M, sc.SortInterval)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case sc.NeutralizePrevious:
+				prev := rk.Species[i-1]
+				uth := [3]float64{}
+				if sc.Load != nil {
+					uth = sc.Load.Uth
+				}
+				seed := uint64(1)
+				if sc.Load != nil {
+					seed = sc.Load.Seed
+				}
+				if err := loader.LoadNeutralizing(prev.Buf, sc.Q, uth, seed, sp.Buf); err != nil {
+					return nil, err
+				}
+			case sc.Load != nil:
+				if _, err := loader.Load(d.G, gl, *sc.Load, sp.Buf); err != nil {
+					return nil, err
+				}
+			}
+			k := push.NewKernel(d.G, rk.IP, rk.Acc, sp.Q, sp.M, cfg.DT)
+			k.Bound = d.ParticleActions()
+			rk.Species = append(rk.Species, sp)
+			rk.Kernels = append(rk.Kernels, k)
+			var op *collision.Operator
+			if sc.Collision != nil {
+				uthRef := 0.01
+				if sc.Load != nil && sc.Load.Uth[0] > 0 {
+					uthRef = sc.Load.Uth[0]
+				}
+				op, err = collision.New(sc.Collision.Nu0, uthRef, sc.Collision.Interval, 0xc0111de, r*len(cfg.Species)+i)
+				if err != nil {
+					return nil, err
+				}
+			}
+			rk.Colliders = append(rk.Colliders, op)
+		}
+		// Initial sort for locality.
+		for _, sp := range rk.Species {
+			if sp.SortInterval > 0 {
+				rk.sortWS.ByVoxel(sp.Buf, d.G.NV())
+			}
+		}
+		s.Ranks[r] = rk
+	}
+
+	// Neutralizing background: capture −ρ(t=0) so cleaning targets
+	// ρ_mobile − ρ_initial (consistent with the E=0 start).
+	if cfg.NeutralizingBackground {
+		s.onAllRanks(func(rk *Rank) {
+			rk.rho0 = make([]float32, rk.D.G.NV())
+			rk.depositAllRho(rk.rho0)
+			// Fold boundary-plane aliases exactly like the per-step ρ, or
+			// the background would be short by the ghost contributions.
+			rk.D.F.FoldNodeScalar(rk.rho0)
+			rk.D.ExchangeNodeScalar(rk.rho0)
+			negate(rk.rho0)
+		})
+	}
+
+	// Prime ghost planes and interpolators.
+	s.onAllRanks(func(rk *Rank) {
+		rk.D.F.UpdateGhostE()
+		rk.D.F.UpdateGhostB()
+		rk.D.ExchangeGhostE()
+		rk.D.ExchangeGhostB()
+		rk.IP.Load(rk.D.F)
+	})
+	return s, nil
+}
+
+func negate(a []float32) {
+	for i := range a {
+		a[i] = -a[i]
+	}
+}
+
+// onAllRanks runs fn concurrently on every rank and waits; fn may use
+// the rank's Comm (collectives included).
+func (s *Simulation) onAllRanks(fn func(rk *Rank)) {
+	s.wg.Add(len(s.Ranks))
+	for _, rk := range s.Ranks {
+		go func(rk *Rank) {
+			defer s.wg.Done()
+			fn(rk)
+		}(rk)
+	}
+	s.wg.Wait()
+}
+
+// Step advances the whole simulation by one time step.
+func (s *Simulation) Step() {
+	tNow := s.time
+	doClean := s.Cfg.CleanInterval > 0 && s.step > 0 && s.step%s.Cfg.CleanInterval == 0
+	stepNo := s.step
+	s.onAllRanks(func(rk *Rank) {
+		rk.stepOnce(&s.Cfg, tNow, stepNo, doClean)
+	})
+	s.step++
+	s.time += s.Cfg.DT
+}
+
+// Run advances n steps.
+func (s *Simulation) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// StepCount returns the number of completed steps.
+func (s *Simulation) StepCount() int { return s.step }
+
+// Time returns the current simulation time.
+func (s *Simulation) Time() float64 { return s.time }
+
+// stepOnce is one rank's whole time step; all cross-rank interactions go
+// through the domain exchanges, which synchronize the ranks pairwise.
+func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
+	d := rk.D
+	f := d.F
+
+	// Periodic particle sort (VPIC: keeps the gather/scatter streaming)
+	// and collisions, which require voxel order and so run right after.
+	rk.Perf.Start(perf.Sort)
+	for i, sp := range rk.Species {
+		op := rk.Colliders[i]
+		collide := op != nil && op.Due(step)
+		if sp.ShouldSort(step) || collide {
+			rk.sortWS.ByVoxel(sp.Buf, d.G.NV())
+		}
+		if collide {
+			op.Apply(d.G, sp.Buf, cfg.DT)
+		}
+	}
+	rk.Perf.Stop(perf.Sort)
+
+	// Particle advance and current deposition (the inner loop).
+	rk.Perf.Start(perf.Push)
+	rk.Acc.Clear()
+	for i, sp := range rk.Species {
+		if cfg.UseReferencePusher {
+			rk.Kernels[i].AdvancePRef(sp.Buf, f)
+		} else {
+			rk.Kernels[i].AdvanceP(sp.Buf)
+		}
+	}
+	rk.Perf.Stop(perf.Push)
+
+	// Migrate boundary-crossing particles.
+	rk.Perf.Start(perf.Comm)
+	bufs := make([]*particle.Buffer, len(rk.Species))
+	for i, sp := range rk.Species {
+		bufs[i] = sp.Buf
+	}
+	d.ExchangeParticles(rk.Kernels, bufs)
+	rk.Perf.Stop(perf.Comm)
+
+	// Reduce currents onto the mesh (plus the antenna drive).
+	rk.Perf.Start(perf.Field)
+	f.ClearJ()
+	for _, a := range cfg.Lasers {
+		a.Inject(f, tNow, cfg.DT)
+	}
+	rk.Acc.Unload(f, cfg.DT)
+	f.FoldGhostJ()
+	rk.Perf.Stop(perf.Field)
+
+	rk.Perf.Start(perf.Comm)
+	d.ExchangeJ()
+	rk.Perf.Stop(perf.Comm)
+
+	// Field advance: B half, E full, B half.
+	rk.Perf.Start(perf.Field)
+	f.AdvanceB(cfg.DT, 0.5)
+	rk.Perf.Stop(perf.Field)
+	rk.Perf.Start(perf.Comm)
+	d.ExchangeGhostB()
+	rk.Perf.Stop(perf.Comm)
+
+	rk.Perf.Start(perf.Field)
+	f.AdvanceE(cfg.DT)
+	rk.Perf.Stop(perf.Field)
+	rk.Perf.Start(perf.Comm)
+	d.ExchangeGhostE()
+	rk.Perf.Stop(perf.Comm)
+
+	rk.Perf.Start(perf.Field)
+	f.AdvanceB(cfg.DT, 0.5)
+	rk.Perf.Stop(perf.Field)
+	rk.Perf.Start(perf.Comm)
+	d.ExchangeGhostB()
+	rk.Perf.Stop(perf.Comm)
+
+	// Divergence cleaning.
+	if doClean {
+		rk.Perf.Start(perf.Field)
+		rk.clean(cfg)
+		rk.Perf.Stop(perf.Field)
+	}
+
+	// Refresh interpolators for the next step (and for any field
+	// diagnostics run between steps).
+	rk.Perf.Start(perf.Field)
+	rk.IP.Load(f)
+	rk.Perf.Stop(perf.Field)
+}
+
+// clean runs the multi-rank-safe Marder passes.
+func (rk *Rank) clean(cfg *Config) {
+	d := rk.D
+	f := d.F
+	// Assemble the target charge density.
+	clear(rk.rho)
+	rk.depositAllRho(rk.rho)
+	f.FoldNodeScalar(rk.rho)
+	d.ExchangeNodeScalar(rk.rho)
+	if rk.rho0 != nil {
+		for i, v := range rk.rho0 {
+			rk.rho[i] += v
+		}
+	}
+	for p := 0; p < cfg.CleanPasses; p++ {
+		errF, _ := f.DivEError(rk.rho, rk.scratch)
+		rk.scratch = errF
+		f.FillNodeGhost(errF)
+		d.ExchangeScalarGhost(errF)
+		f.MarderPassE(errF)
+		f.UpdateGhostE()
+		d.ExchangeGhostE()
+	}
+	for p := 0; p < cfg.CleanPasses; p++ {
+		div, _ := f.DivB(rk.scratch)
+		rk.scratch = div
+		f.FillCellGhost(div)
+		d.ExchangeScalarGhost(div)
+		f.MarderPassB(div)
+		f.UpdateGhostB()
+		d.ExchangeGhostB()
+	}
+}
+
+// depositAllRho adds every species' charge density into dst.
+func (rk *Rank) depositAllRho(dst []float32) {
+	for i, sp := range rk.Species {
+		_ = i
+		push.DepositRho(rk.D.G, sp.Buf, sp.Q, dst)
+	}
+}
+
+// Background returns the rank's static neutralizing charge density, or
+// nil when NeutralizingBackground is off.
+func (rk *Rank) Background() []float32 { return rk.rho0 }
+
+// --- Global diagnostics (call between steps only) ---
+
+// Energy gathers the global energy sample.
+func (s *Simulation) Energy() diag.EnergySample {
+	sample := diag.EnergySample{
+		Step:    s.step,
+		Time:    s.time,
+		Kinetic: make([]float64, len(s.Cfg.Species)),
+	}
+	for _, rk := range s.Ranks {
+		sample.EField += rk.D.F.EnergyE()
+		sample.BField += rk.D.F.EnergyB()
+		for i, sp := range rk.Species {
+			sample.Kinetic[i] += sp.KineticEnergy()
+		}
+		_, dbe := rk.D.F.DivB(rk.scratch)
+		if dbe > sample.DivBError {
+			sample.DivBError = dbe
+		}
+	}
+	sample.Total = sample.EField + sample.BField
+	for _, k := range sample.Kinetic {
+		sample.Total += k
+	}
+	return sample
+}
+
+// TotalParticles returns the global particle count.
+func (s *Simulation) TotalParticles() int {
+	n := 0
+	for _, rk := range s.Ranks {
+		for _, sp := range rk.Species {
+			n += sp.Buf.N()
+		}
+	}
+	return n
+}
+
+// Flops returns the global inner-loop flop count so far.
+func (s *Simulation) Flops() int64 {
+	var n int64
+	for _, rk := range s.Ranks {
+		for _, k := range rk.Kernels {
+			n += k.Flops()
+		}
+	}
+	return n
+}
+
+// LostEnergy returns the kinetic energy carried away by particles
+// absorbed at boundaries since the start (or the last ResetStats),
+// closing the energy budget of bounded runs.
+func (s *Simulation) LostEnergy() float64 {
+	var e float64
+	for _, rk := range s.Ranks {
+		for _, k := range rk.Kernels {
+			e += k.ELost
+		}
+	}
+	return e
+}
+
+// PushedParticles returns the global count of particle advances so far.
+func (s *Simulation) PushedParticles() int64 {
+	var n int64
+	for _, rk := range s.Ranks {
+		for _, k := range rk.Kernels {
+			n += k.NPushed
+		}
+	}
+	return n
+}
+
+// PerfBreakdown merges all ranks' kernel timings.
+func (s *Simulation) PerfBreakdown() perf.Breakdown {
+	var b perf.Breakdown
+	for _, rk := range s.Ranks {
+		b.Merge(&rk.Perf)
+	}
+	return b
+}
+
+// CommBytes returns the total payload bytes exchanged.
+func (s *Simulation) CommBytes() int64 {
+	var n int64
+	for _, rk := range s.Ranks {
+		n += rk.D.CommBytes
+	}
+	return n
+}
+
+// RankAt returns the rank whose tile contains global x (quasi-1D
+// helper) together with the local x-node index of that plane.
+func (s *Simulation) RankAt(xGlobal float64) (*Rank, int, error) {
+	for _, rk := range s.Ranks {
+		g := rk.D.G
+		lx := float64(g.NX) * g.DX
+		if xGlobal >= g.X0 && xGlobal < g.X0+lx {
+			ix := 1 + int((xGlobal-g.X0)/g.DX)
+			return rk, ix, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("core: x=%g outside the global domain", xGlobal)
+}
+
+// PoyntingSplit measures forward/backward flux through the global
+// x-plane (between steps).
+func (s *Simulation) PoyntingSplit(xGlobal float64) (fw, bw float64, err error) {
+	rk, ix, err := s.RankAt(xGlobal)
+	if err != nil {
+		return 0, 0, err
+	}
+	fw, bw = diag.PoyntingSplit(rk.D.F, ix)
+	return fw, bw, nil
+}
+
+// DistUx accumulates the global x-momentum distribution of one species
+// over a global x window.
+func (s *Simulation) DistUx(speciesIdx int, xmin, xmax, umin, umax float64, bins int) []float64 {
+	total := make([]float64, bins)
+	for _, rk := range s.Ranks {
+		h := diag.DistUx(rk.D.G, rk.Species[speciesIdx].Buf, xmin, xmax, umin, umax, bins)
+		for i, v := range h {
+			total[i] += v
+		}
+	}
+	return total
+}

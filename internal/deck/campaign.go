@@ -1,0 +1,75 @@
+package deck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CampaignEntry describes one member of the paper's simulation campaign
+// in machine-independent terms. The full-scale entry reproduces the
+// abstract's configuration — 1.0×10^12 particles on 1.36×10^8 voxels
+// (≈7350 particles per cell, the extreme fidelity that resolves trapped
+// particle dynamics); the scaled tiers run the identical code path at
+// laptop scale. Cost is strictly linear in particle-steps, which is what
+// makes the scaled tiers faithful performance proxies.
+type CampaignEntry struct {
+	Name      string
+	Voxels    float64
+	Particles float64
+	PPC       float64
+	Triblades int // Roadrunner nodes the paper tier used (0 = local tier)
+	Runnable  bool
+}
+
+// Campaign returns the tier table: the paper's full-scale run plus the
+// scaled tiers this repository executes.
+func Campaign() []CampaignEntry {
+	return []CampaignEntry{
+		{Name: "paper-full", Voxels: 1.36e8, Particles: 1.0e12, PPC: 1.0e12 / 1.36e8, Triblades: 3060},
+		{Name: "paper-half", Voxels: 0.68e8, Particles: 0.5e12, PPC: 1.0e12 / 1.36e8, Triblades: 1530},
+		{Name: "scaled-large", Voxels: 2.56e5, Particles: 6.6e7, PPC: 256, Runnable: true},
+		{Name: "scaled-medium", Voxels: 3.2e4, Particles: 8.2e6, PPC: 256, Runnable: true},
+		{Name: "scaled-small", Voxels: 4.0e3, Particles: 5.1e5, PPC: 128, Runnable: true},
+	}
+}
+
+// ParticleSteps returns the campaign cost in particle-steps for a run of
+// the given step count — the linear cost model connecting the tiers.
+func (e CampaignEntry) ParticleSteps(steps int) float64 {
+	return e.Particles * float64(steps)
+}
+
+// ScaledLPI returns a runnable LPI deck for a scaled tier by name
+// ("scaled-small", "scaled-medium", "scaled-large") at pump strength a0.
+func ScaledLPI(tier string, a0 float64) (Deck, error) {
+	p := DefaultLPI(a0)
+	switch tier {
+	case "scaled-small":
+		p.PlateauLength, p.PPC = 40, 128
+	case "scaled-medium":
+		p.PlateauLength, p.PPC = 80, 256
+	case "scaled-large":
+		p.PlateauLength, p.PPC = 160, 512
+	default:
+		return Deck{}, fmt.Errorf("deck: unknown campaign tier %q", tier)
+	}
+	return LPI(p)
+}
+
+// FormatCampaign renders the tier table.
+func FormatCampaign(entries []CampaignEntry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %12s %13s %8s %10s %9s\n", "tier", "voxels", "particles", "ppc", "triblades", "runnable")
+	for _, e := range entries {
+		run := ""
+		if e.Runnable {
+			run = "yes"
+		}
+		tb := ""
+		if e.Triblades > 0 {
+			tb = fmt.Sprintf("%d", e.Triblades)
+		}
+		fmt.Fprintf(&sb, "%-14s %12.3g %13.3g %8.0f %10s %9s\n", e.Name, e.Voxels, e.Particles, e.PPC, tb, run)
+	}
+	return sb.String()
+}

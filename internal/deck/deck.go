@@ -1,0 +1,229 @@
+// Package deck builds ready-to-run simulation configurations ("input
+// decks", in VPIC's vocabulary): the laser-plasma-interaction workload
+// of the paper's parameter study plus the classic kinetic validation
+// problems (plasma oscillation, Landau damping, two-stream, Weibel) and
+// the synthetic thermal-plasma workloads the performance experiments
+// use.
+package deck
+
+import (
+	"fmt"
+	"math"
+
+	"govpic/internal/core"
+	"govpic/internal/loader"
+	"govpic/internal/push"
+)
+
+// Deck bundles a configuration with an optional post-initialization
+// setup (perturbations applied to the loaded particles) and derived
+// quantities useful to the caller.
+type Deck struct {
+	Name  string
+	Cfg   core.Config
+	Setup func(*core.Simulation) error
+	// Notes carries derived numbers (ωpe, expected rates, probe
+	// positions...) keyed by short names.
+	Notes map[string]float64
+}
+
+// New builds the deck's simulation and applies its setup.
+func (d *Deck) New() (*core.Simulation, error) {
+	s, err := core.New(d.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if d.Setup != nil {
+		if err := d.Setup(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+var allWrap = [6]push.Action{push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap}
+
+// Thermal returns a uniform periodic thermal plasma — the synthetic
+// workload of the performance experiments (every cell equally loaded,
+// no collective dynamics beyond noise).
+func Thermal(nx, ny, nz, ppc, nRanks int, n0, uth float64) Deck {
+	cfg := core.Config{
+		NX: nx, NY: ny, NZ: nz,
+		DX: 0.5, DY: 0.5, DZ: 0.5,
+		NRanks:     nRanks,
+		ParticleBC: allWrap,
+		Species: []core.SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1, SortInterval: 20,
+			Load: &loader.Params{
+				Profile: loader.Uniform(n0), PPC: ppc, Nref: n0,
+				Uth: [3]float64{uth, uth, uth}, Seed: 20080415,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	cfg.DT = cfg.CourantDT(0.7)
+	return Deck{
+		Name:  "thermal",
+		Cfg:   cfg,
+		Notes: map[string]float64{"wpe": math.Sqrt(n0)},
+	}
+}
+
+// PlasmaOscillation returns a cold quasi-1D plasma ringing at ωpe: the
+// quickstart example.
+func PlasmaOscillation(nx, ppc int, n0 float64) Deck {
+	cfg := core.Config{
+		NX: nx, NY: 1, NZ: 1,
+		DX: 0.5, DY: 1, DZ: 1,
+		NRanks:     1,
+		ParticleBC: allWrap,
+		Species: []core.SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1, SortInterval: 20,
+			Load: &loader.Params{
+				Profile: loader.Uniform(n0), PPC: ppc, Nref: n0,
+				Uth: [3]float64{0.0005, 0.0005, 0.0005}, Seed: 7,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	cfg.DT = cfg.CourantDT(0.5)
+	d := Deck{
+		Name:  "plasma-oscillation",
+		Cfg:   cfg,
+		Notes: map[string]float64{"wpe": math.Sqrt(n0)},
+	}
+	d.Setup = func(s *core.Simulation) error {
+		return PerturbVelocity(s, 0, 0.01, 1)
+	}
+	return d
+}
+
+// TwoStream returns two symmetric counter-streaming cold electron beams
+// (each density n0/2, drift ±v0): the textbook kinetic instability. The
+// fastest mode grows at γ ≈ 0.35·ωpe (cold symmetric beams).
+func TwoStream(nx, ppc int, n0, u0 float64) Deck {
+	cfg := core.Config{
+		NX: nx, NY: 1, NZ: 1,
+		DX: 0.5, DY: 1, DZ: 1,
+		NRanks:     1,
+		ParticleBC: allWrap,
+		Species: []core.SpeciesConfig{
+			{
+				Name: "beam+", Q: -1, M: 1, SortInterval: 25,
+				Load: &loader.Params{
+					Profile: loader.Uniform(n0 / 2), PPC: ppc, Nref: n0 / 2,
+					Uth: [3]float64{0.001, 0.001, 0.001}, Drift: [3]float64{u0, 0, 0}, Seed: 31,
+				},
+			},
+			{
+				Name: "beam-", Q: -1, M: 1, SortInterval: 25,
+				Load: &loader.Params{
+					Profile: loader.Uniform(n0 / 2), PPC: ppc, Nref: n0 / 2,
+					Uth: [3]float64{0.001, 0.001, 0.001}, Drift: [3]float64{-u0, 0, 0}, Seed: 32,
+				},
+			},
+		},
+		NeutralizingBackground: true,
+	}
+	cfg.DT = cfg.CourantDT(0.5)
+	wpe := math.Sqrt(n0)
+	return Deck{
+		Name: "two-stream",
+		Cfg:  cfg,
+		Notes: map[string]float64{
+			"wpe":       wpe,
+			"gammaMax":  wpe / math.Sqrt(8), // cold symmetric two-stream
+			"kFastest":  math.Sqrt(3.0/8.0) * wpe / u0,
+			"driftBeta": u0 / math.Sqrt(1+u0*u0),
+		},
+	}
+}
+
+// Weibel returns a temperature-anisotropic electron plasma
+// (T⊥ ≫ T∥ along x) whose Weibel instability grows magnetic field from
+// noise.
+func Weibel(nx, ppc int, n0, uthHot, uthCold float64) Deck {
+	cfg := core.Config{
+		NX: nx, NY: 1, NZ: 1,
+		DX: 0.5, DY: 1, DZ: 1,
+		NRanks:     1,
+		ParticleBC: allWrap,
+		Species: []core.SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1, SortInterval: 25,
+			Load: &loader.Params{
+				Profile: loader.Uniform(n0), PPC: ppc, Nref: n0,
+				// Hot transverse (y), cold along x and z.
+				Uth: [3]float64{uthCold, uthHot, uthCold}, Seed: 41,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	cfg.DT = cfg.CourantDT(0.5)
+	wpe := math.Sqrt(n0)
+	return Deck{
+		Name: "weibel",
+		Cfg:  cfg,
+		Notes: map[string]float64{
+			"wpe": wpe,
+			// Maximum growth rate scale for strong anisotropy.
+			"gammaScale": wpe * uthHot,
+		},
+	}
+}
+
+// Landau returns a warm plasma with a standing Langmuir-wave velocity
+// perturbation at mode m, for measuring collisionless (Landau) damping
+// against the kinetic dispersion solver.
+func Landau(nx, ppc, mode int, n0, uth, amp float64) Deck {
+	cfg := core.Config{
+		NX: nx, NY: 1, NZ: 1,
+		DX: 0.5, DY: 1, DZ: 1,
+		NRanks:     1,
+		ParticleBC: allWrap,
+		Species: []core.SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1, SortInterval: 20,
+			Load: &loader.Params{
+				Profile: loader.Uniform(n0), PPC: ppc, Nref: n0,
+				Uth: [3]float64{uth, uth, uth}, Seed: 51,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	cfg.DT = cfg.CourantDT(0.4)
+	lx := float64(nx) * cfg.DX
+	k := 2 * math.Pi * float64(mode) / lx
+	wpe := math.Sqrt(n0)
+	d := Deck{
+		Name: "landau",
+		Cfg:  cfg,
+		Notes: map[string]float64{
+			"wpe": wpe,
+			"k":   k,
+			"kLD": k * uth / wpe,
+		},
+	}
+	d.Setup = func(s *core.Simulation) error {
+		return PerturbVelocity(s, 0, amp, mode)
+	}
+	return d
+}
+
+// PerturbVelocity adds ux += amp·sin(2π·mode·x/Lx) to every particle of
+// the species (across all ranks) — the standard standing-wave seed.
+func PerturbVelocity(s *core.Simulation, speciesIdx int, amp float64, mode int) error {
+	if speciesIdx < 0 || speciesIdx >= len(s.Cfg.Species) {
+		return fmt.Errorf("deck: species index %d out of range", speciesIdx)
+	}
+	lx := float64(s.Cfg.NX) * s.Cfg.DX
+	k := 2 * math.Pi * float64(mode) / lx
+	for _, rk := range s.Ranks {
+		g := rk.D.G
+		buf := rk.Species[speciesIdx].Buf
+		for i := range buf.P {
+			p := &buf.P[i]
+			x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
+			p.Ux += float32(amp * math.Sin(k*x))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package deck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"govpic/internal/core"
+	"govpic/internal/units"
+)
+
+// JSONConfig is the file-driven front end to the deck builders, so runs
+// can be described by version-controlled config files rather than
+// flags. Unknown fields are rejected (typos in physics configs are
+// expensive).
+type JSONConfig struct {
+	// Deck selects the builder: thermal | oscillation | twostream |
+	// weibel | landau | lpi.
+	Deck string `json:"deck"`
+	// Steps is the run length (consumed by the caller).
+	Steps int `json:"steps"`
+
+	// Common knobs.
+	Ranks int     `json:"ranks,omitempty"`
+	PPC   int     `json:"ppc,omitempty"`
+	NX    int     `json:"nx,omitempty"`
+	N0    float64 `json:"n0,omitempty"` // density, ncr units
+
+	// Generic plasma knobs.
+	Uth   float64 `json:"uth,omitempty"`   // thermal momentum spread
+	Drift float64 `json:"drift,omitempty"` // two-stream beam drift
+	Mode  int     `json:"mode,omitempty"`  // landau seeded mode
+	Amp   float64 `json:"amp,omitempty"`   // landau perturbation
+
+	// LPI knobs.
+	A0              float64 `json:"a0,omitempty"`
+	IntensityWcm2   float64 `json:"intensity_wcm2,omitempty"` // alternative to a0
+	WavelengthNM    float64 `json:"wavelength_nm,omitempty"`  // with intensity_wcm2
+	TeEV            float64 `json:"te_ev,omitempty"`
+	PlateauLength   float64 `json:"plateau_length,omitempty"`
+	MobileIons      bool    `json:"mobile_ions,omitempty"`
+	TransverseCells int     `json:"transverse_cells,omitempty"`
+	RefluxWalls     bool    `json:"reflux_walls,omitempty"`
+
+	// Collisions (applied to the first species).
+	CollisionNu0      float64 `json:"collision_nu0,omitempty"`
+	CollisionInterval int     `json:"collision_interval,omitempty"`
+}
+
+// FromJSON parses a config and builds its deck, returning the requested
+// step count alongside.
+func FromJSON(r io.Reader) (Deck, int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c JSONConfig
+	if err := dec.Decode(&c); err != nil {
+		return Deck{}, 0, fmt.Errorf("deck: bad config: %w", err)
+	}
+	d, err := c.Build()
+	return d, c.Steps, err
+}
+
+// Build constructs the deck the config describes.
+func (c JSONConfig) Build() (Deck, error) {
+	if c.Steps <= 0 {
+		return Deck{}, fmt.Errorf("deck: steps must be positive, got %d", c.Steps)
+	}
+	def := func(v, d int) int {
+		if v == 0 {
+			return d
+		}
+		return v
+	}
+	deff := func(v, d float64) float64 {
+		if v == 0 {
+			return d
+		}
+		return v
+	}
+	nx := def(c.NX, 64)
+	ppc := def(c.PPC, 64)
+	ranks := def(c.Ranks, 1)
+	n0 := deff(c.N0, 0.2)
+	uth := deff(c.Uth, 0.05)
+
+	var d Deck
+	var err error
+	switch c.Deck {
+	case "thermal":
+		d = Thermal(nx, 4, 4, ppc, ranks, n0, uth)
+	case "oscillation":
+		d = PlasmaOscillation(nx, ppc, deff(c.N0, 0.25))
+	case "twostream":
+		d = TwoStream(nx, ppc, n0, deff(c.Drift, 0.1))
+	case "weibel":
+		d = Weibel(nx, ppc, n0, deff(c.Uth, 0.1), 0.01)
+	case "landau":
+		d = Landau(nx, ppc, def(c.Mode, 4), n0, deff(c.Uth, 0.1), deff(c.Amp, 0.01))
+	case "lpi":
+		a0 := c.A0
+		if a0 == 0 && c.IntensityWcm2 > 0 {
+			lambda := deff(c.WavelengthNM, 351) * 1e-9
+			a0 = units.A0FromIntensity(c.IntensityWcm2, lambda)
+		}
+		if a0 == 0 {
+			return Deck{}, fmt.Errorf("deck: lpi needs a0 or intensity_wcm2")
+		}
+		p := DefaultLPI(a0)
+		p.NRanks = ranks
+		p.PPC = def(c.PPC, p.PPC)
+		if c.N0 > 0 {
+			p.N = c.N0
+		}
+		if c.TeEV > 0 {
+			p.Te = units.TeFromEV(c.TeEV)
+		}
+		if c.PlateauLength > 0 {
+			p.PlateauLength = c.PlateauLength
+		}
+		p.MobileIons = c.MobileIons
+		p.TransverseCells = c.TransverseCells
+		p.RefluxWalls = c.RefluxWalls
+		d, err = LPI(p)
+		if err != nil {
+			return Deck{}, err
+		}
+	default:
+		return Deck{}, fmt.Errorf("deck: unknown deck %q", c.Deck)
+	}
+
+	if c.CollisionNu0 > 0 {
+		d.Cfg.Species[0].Collision = &core.CollisionConfig{
+			Nu0:      c.CollisionNu0,
+			Interval: def(c.CollisionInterval, 10),
+		}
+	}
+	return d, err
+}

@@ -1,0 +1,98 @@
+package diag
+
+import (
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+)
+
+// Moments holds the cell-centered velocity moments of one species:
+// number density, mean momentum (flux/density) and temperature-like
+// second moments, the standard reduced observables written out by
+// production PIC runs (VPIC's "hydro" arrays).
+type Moments struct {
+	G *grid.Grid
+	// Density is Σw/Vc per cell.
+	Density []float32
+	// Ux, Uy, Uz are the density-weighted mean momenta per cell.
+	Ux, Uy, Uz []float32
+	// Txx, Tyy, Tzz are the second central momentum moments per cell
+	// (non-relativistic temperature in mc² units when divided by mass).
+	Txx, Tyy, Tzz []float32
+}
+
+// NewMoments allocates a zeroed moment set.
+func NewMoments(g *grid.Grid) *Moments {
+	nv := g.NV()
+	return &Moments{
+		G:       g,
+		Density: make([]float32, nv),
+		Ux:      make([]float32, nv), Uy: make([]float32, nv), Uz: make([]float32, nv),
+		Txx: make([]float32, nv), Tyy: make([]float32, nv), Tzz: make([]float32, nv),
+	}
+}
+
+// Accumulate adds buf's particles into the moments (cell-centered:
+// each particle contributes wholly to its containing cell, the cheap
+// zeroth-order assignment used for run-time monitoring).
+func (m *Moments) Accumulate(buf *particle.Buffer) {
+	for i := range buf.P {
+		p := &buf.P[i]
+		v := p.Voxel
+		w := p.W
+		m.Density[v] += w
+		m.Ux[v] += w * p.Ux
+		m.Uy[v] += w * p.Uy
+		m.Uz[v] += w * p.Uz
+		m.Txx[v] += w * p.Ux * p.Ux
+		m.Tyy[v] += w * p.Uy * p.Uy
+		m.Tzz[v] += w * p.Uz * p.Uz
+	}
+}
+
+// Finalize converts raw sums into physical moments: density into
+// per-volume units, momenta into means, and second moments into central
+// (thermal) form. Cells with no particles are left zero. Call once
+// after all Accumulate calls.
+func (m *Moments) Finalize() {
+	invV := float32(1 / m.G.Volume())
+	for v := range m.Density {
+		w := m.Density[v]
+		if w == 0 {
+			continue
+		}
+		m.Ux[v] /= w
+		m.Uy[v] /= w
+		m.Uz[v] /= w
+		m.Txx[v] = m.Txx[v]/w - m.Ux[v]*m.Ux[v]
+		m.Tyy[v] = m.Tyy[v]/w - m.Uy[v]*m.Uy[v]
+		m.Tzz[v] = m.Tzz[v]/w - m.Uz[v]*m.Uz[v]
+		m.Density[v] = w * invV
+	}
+}
+
+// Clear zeroes all arrays for reuse.
+func (m *Moments) Clear() {
+	clear(m.Density)
+	clear(m.Ux)
+	clear(m.Uy)
+	clear(m.Uz)
+	clear(m.Txx)
+	clear(m.Tyy)
+	clear(m.Tzz)
+}
+
+// DensityLine extracts the density along x at (iy,iz).
+func (m *Moments) DensityLine(iy, iz int) []float64 {
+	return lineOut(m.G, m.Density, iy, iz)
+}
+
+// TemperatureLine extracts (Txx+Tyy+Tzz)/3 along x at (iy,iz).
+func (m *Moments) TemperatureLine(iy, iz int) []float64 {
+	g := m.G
+	out := make([]float64, g.NX)
+	for ix := 1; ix <= g.NX; ix++ {
+		v := g.Voxel(ix, iy, iz)
+		out[ix-1] = float64(m.Txx[v]+m.Tyy[v]+m.Tzz[v]) / 3
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package diag
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+	"govpic/internal/rng"
+)
+
+func TestMomentsUniformPlasma(t *testing.T) {
+	g := grid.MustNew(8, 4, 4, 0.5, 0.5, 0.5)
+	buf := particle.NewBuffer(0)
+	src := rng.New(3, 0)
+	const ppc = 256
+	const uth = 0.08
+	const drift = 0.2
+	w := float32(0.1 * g.Volume() / ppc) // density 0.1
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			for ix := 1; ix <= g.NX; ix++ {
+				for n := 0; n < ppc; n++ {
+					buf.Append(particle.Particle{
+						Voxel: int32(g.Voxel(ix, iy, iz)),
+						Ux:    float32(drift + src.Maxwellian(uth)),
+						Uy:    float32(src.Maxwellian(uth)),
+						Uz:    float32(src.Maxwellian(uth)),
+						W:     w,
+					})
+				}
+			}
+		}
+	}
+	m := NewMoments(g)
+	m.Accumulate(buf)
+	m.Finalize()
+
+	// Check cell-averaged moments over the interior.
+	var sumN, sumUx, sumTxx float64
+	cells := 0
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			for ix := 1; ix <= g.NX; ix++ {
+				v := g.Voxel(ix, iy, iz)
+				sumN += float64(m.Density[v])
+				sumUx += float64(m.Ux[v])
+				sumTxx += float64(m.Txx[v])
+				cells++
+			}
+		}
+	}
+	n := sumN / float64(cells)
+	if math.Abs(n-0.1) > 1e-4 {
+		t.Fatalf("mean density %g, want 0.1", n)
+	}
+	ux := sumUx / float64(cells)
+	if math.Abs(ux-drift) > 0.005 {
+		t.Fatalf("mean ux %g, want %g", ux, drift)
+	}
+	txx := sumTxx / float64(cells)
+	if math.Abs(txx-uth*uth)/(uth*uth) > 0.05 {
+		t.Fatalf("Txx %g, want %g", txx, uth*uth)
+	}
+}
+
+func TestMomentsEmptyCellsZero(t *testing.T) {
+	g := grid.MustNew(4, 1, 1, 1, 1, 1)
+	buf := particle.NewBuffer(0)
+	buf.Append(particle.Particle{Voxel: int32(g.Voxel(2, 1, 1)), Ux: 1, W: 2})
+	m := NewMoments(g)
+	m.Accumulate(buf)
+	m.Finalize()
+	if m.Density[g.Voxel(1, 1, 1)] != 0 || m.Ux[g.Voxel(1, 1, 1)] != 0 {
+		t.Fatal("empty cell has nonzero moments")
+	}
+	if m.Density[g.Voxel(2, 1, 1)] != 2 { // w/Vc = 2/1
+		t.Fatalf("density = %g, want 2", m.Density[g.Voxel(2, 1, 1)])
+	}
+	if m.Ux[g.Voxel(2, 1, 1)] != 1 {
+		t.Fatal("mean momentum wrong")
+	}
+	if m.Txx[g.Voxel(2, 1, 1)] != 0 {
+		t.Fatal("single particle must have zero thermal spread")
+	}
+}
+
+func TestMomentsClearAndLines(t *testing.T) {
+	g := grid.MustNew(4, 2, 2, 1, 1, 1)
+	m := NewMoments(g)
+	buf := particle.NewBuffer(0)
+	buf.Append(particle.Particle{Voxel: int32(g.Voxel(3, 1, 1)), Uy: 2, W: 1})
+	m.Accumulate(buf)
+	m.Finalize()
+	dl := m.DensityLine(1, 1)
+	if len(dl) != 4 || dl[2] != 1 {
+		t.Fatalf("density line %v", dl)
+	}
+	tl := m.TemperatureLine(1, 1)
+	if len(tl) != 4 {
+		t.Fatal("temperature line length")
+	}
+	m.Clear()
+	if m.Density[g.Voxel(3, 1, 1)] != 0 {
+		t.Fatal("clear failed")
+	}
+}

@@ -1,0 +1,99 @@
+package diag
+
+import (
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+)
+
+// PhaseSpace is a 2-D x–ux histogram — the phase-space picture in which
+// particle trapping appears as vortices around the wave phase velocity,
+// the figure every trapping paper (this one included) shows.
+type PhaseSpace struct {
+	XMin, XMax float64
+	UMin, UMax float64
+	NX, NU     int
+	// H[iu*NX + ix] is the weight in the (x,u) bin.
+	H []float64
+}
+
+// NewPhaseSpace allocates a zeroed histogram with the given extents.
+func NewPhaseSpace(xmin, xmax float64, nx int, umin, umax float64, nu int) *PhaseSpace {
+	return &PhaseSpace{
+		XMin: xmin, XMax: xmax, UMin: umin, UMax: umax,
+		NX: nx, NU: nu,
+		H: make([]float64, nx*nu),
+	}
+}
+
+// Accumulate adds buf's particles (global x position vs Ux).
+func (ps *PhaseSpace) Accumulate(g *grid.Grid, buf *particle.Buffer) {
+	sx := float64(ps.NX) / (ps.XMax - ps.XMin)
+	su := float64(ps.NU) / (ps.UMax - ps.UMin)
+	for i := range buf.P {
+		p := &buf.P[i]
+		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
+		ix := int((x - ps.XMin) * sx)
+		iu := int((float64(p.Ux) - ps.UMin) * su)
+		if ix >= 0 && ix < ps.NX && iu >= 0 && iu < ps.NU {
+			ps.H[iu*ps.NX+ix] += float64(p.W)
+		}
+	}
+}
+
+// At returns the weight in bin (ix, iu).
+func (ps *PhaseSpace) At(ix, iu int) float64 { return ps.H[iu*ps.NX+ix] }
+
+// Clear zeroes the histogram.
+func (ps *PhaseSpace) Clear() { clear(ps.H) }
+
+// UProfile integrates over x, returning the 1-D momentum distribution.
+func (ps *PhaseSpace) UProfile() []float64 {
+	out := make([]float64, ps.NU)
+	for iu := 0; iu < ps.NU; iu++ {
+		var s float64
+		for ix := 0; ix < ps.NX; ix++ {
+			s += ps.H[iu*ps.NX+ix]
+		}
+		out[iu] = s
+	}
+	return out
+}
+
+// VortexContrast quantifies phase-space structure at momentum band
+// [u0,u1]: the ratio of the x-variance of the band occupancy to its
+// mean — near zero for a homogeneous (untrapped) tail, order one once
+// trapping vortices bunch the resonant particles in x.
+func (ps *PhaseSpace) VortexContrast(u0, u1 float64) float64 {
+	su := float64(ps.NU) / (ps.UMax - ps.UMin)
+	iu0 := int((u0 - ps.UMin) * su)
+	iu1 := int((u1 - ps.UMin) * su)
+	if iu0 < 0 {
+		iu0 = 0
+	}
+	if iu1 > ps.NU {
+		iu1 = ps.NU
+	}
+	if iu1 <= iu0 {
+		return 0
+	}
+	col := make([]float64, ps.NX)
+	for iu := iu0; iu < iu1; iu++ {
+		for ix := 0; ix < ps.NX; ix++ {
+			col[ix] += ps.H[iu*ps.NX+ix]
+		}
+	}
+	var mean float64
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(ps.NX)
+	if mean == 0 {
+		return 0
+	}
+	var varr float64
+	for _, v := range col {
+		varr += (v - mean) * (v - mean)
+	}
+	varr /= float64(ps.NX)
+	return varr / (mean * mean)
+}

@@ -1,0 +1,103 @@
+package diag
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+)
+
+func TestSpectrogramFindsTravelingWave(t *testing.T) {
+	// Synthesize a traveling wave E(x,t) = sin(kx − ωt) and check the
+	// ridge at the seeded k sits at the seeded ω.
+	nx, nt := 64, 256
+	dx, dt := 0.5, 0.3
+	s := NewSpectrogram(nx, dx, dt)
+	mode := 5
+	k := 2 * math.Pi * float64(mode) / (float64(nx) * dx)
+	omega := 0.9
+	for it := 0; it < nt; it++ {
+		line := make([]float64, nx)
+		for ix := 0; ix < nx; ix++ {
+			line[ix] = math.Sin(k*float64(ix)*dx - omega*float64(it)*dt)
+		}
+		if err := s.Add(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	power, _, dw, err := s.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.RidgeFrequency(power, dw, mode)
+	if math.Abs(got-omega) > 2*dw {
+		t.Fatalf("ridge at ω = %g, want %g (dω = %g)", got, omega, dw)
+	}
+	// Other k-modes must carry far less power at that frequency.
+	iw := int(omega / dw)
+	if power[mode][iw] < 50*power[mode+3][iw] {
+		t.Fatalf("ridge not localized in k: %g vs %g", power[mode][iw], power[mode+3][iw])
+	}
+}
+
+func TestSpectrogramValidation(t *testing.T) {
+	s := NewSpectrogram(16, 1, 1)
+	if err := s.Add(make([]float64, 8)); err == nil {
+		t.Fatal("accepted wrong line length")
+	}
+	if _, _, _, err := s.Compute(); err == nil {
+		t.Fatal("computed with too few samples")
+	}
+	if s.NSamples() != 0 {
+		t.Fatal("bad sample count")
+	}
+}
+
+func TestPhaseSpaceAccumulate(t *testing.T) {
+	g := grid.MustNew(10, 1, 1, 1, 1, 1)
+	buf := particle.NewBuffer(0)
+	buf.Append(particle.Particle{Voxel: int32(g.Voxel(3, 1, 1)), Ux: 0.5, W: 2})
+	buf.Append(particle.Particle{Voxel: int32(g.Voxel(3, 1, 1)), Ux: 5, W: 1}) // out of u range
+	ps := NewPhaseSpace(0, 10, 10, -1, 1, 8)
+	ps.Accumulate(g, buf)
+	// x ≈ 2.5 → bin 2; u = 0.5 → bin 6.
+	if got := ps.At(2, 6); got != 2 {
+		t.Fatalf("bin (2,6) = %g, want 2", got)
+	}
+	var total float64
+	for _, v := range ps.H {
+		total += v
+	}
+	if total != 2 {
+		t.Fatalf("total weight %g (out-of-range particle binned?)", total)
+	}
+	prof := ps.UProfile()
+	if prof[6] != 2 {
+		t.Fatalf("u-profile %v", prof)
+	}
+	ps.Clear()
+	if ps.At(2, 6) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestVortexContrast(t *testing.T) {
+	ps := NewPhaseSpace(0, 8, 8, 0, 1, 4)
+	// Homogeneous band: zero contrast.
+	for ix := 0; ix < 8; ix++ {
+		ps.H[2*8+ix] = 3
+	}
+	if c := ps.VortexContrast(0.5, 0.75); c > 1e-12 {
+		t.Fatalf("homogeneous contrast = %g", c)
+	}
+	// Bunched band: high contrast.
+	ps.Clear()
+	ps.H[2*8+1] = 24
+	if c := ps.VortexContrast(0.5, 0.75); c < 1 {
+		t.Fatalf("bunched contrast = %g", c)
+	}
+	if ps.VortexContrast(0.9, 0.5) != 0 {
+		t.Fatal("inverted band must give 0")
+	}
+}

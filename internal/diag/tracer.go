@@ -1,0 +1,79 @@
+package diag
+
+import (
+	"govpic/internal/accum"
+	"govpic/internal/grid"
+	"govpic/internal/interp"
+	"govpic/internal/particle"
+	"govpic/internal/push"
+)
+
+// Tracer integrates test particles: zero-weight particles advanced by
+// the same relativistic Boris kernel as the plasma (a zero weight
+// deposits exactly zero current, so they probe the fields without
+// back-reaction), with their trajectories recorded — VPIC's tracer
+// species, used to visualize trapping orbits.
+type Tracer struct {
+	G      *grid.Grid
+	buf    *particle.Buffer
+	kernel *push.Kernel
+	acc    *accum.Array // scratch; receives only zeros
+
+	// Hist[i] is particle i's recorded trajectory.
+	Hist [][]TracerSample
+}
+
+// TracerSample is one trajectory point.
+type TracerSample struct {
+	T          float64
+	X, Y, Z    float64
+	Ux, Uy, Uz float32
+}
+
+// NewTracer builds a tracer for test particles of charge q and mass m
+// (e/me units) on the local grid, sharing the simulation's interpolator
+// table so it sees the current fields.
+func NewTracer(g *grid.Grid, ip *interp.Table, q, m, dt float64, bounds [6]push.Action) *Tracer {
+	acc := accum.New(g)
+	k := push.NewKernel(g, ip, acc, q, m, dt)
+	k.Bound = bounds
+	return &Tracer{G: g, buf: particle.NewBuffer(0), kernel: k, acc: acc}
+}
+
+// Add seeds a test particle at global position (x,y,z) with momentum u.
+// It returns the tracer index, or an error if the position is outside
+// the local tile.
+func (tr *Tracer) Add(x, y, z float64, ux, uy, uz float32) (int, error) {
+	v, dx, dy, dz, err := tr.G.Locate(x, y, z)
+	if err != nil {
+		return 0, err
+	}
+	tr.buf.Append(particle.Particle{
+		Dx: dx, Dy: dy, Dz: dz, Voxel: int32(v),
+		Ux: ux, Uy: uy, Uz: uz, W: 0,
+	})
+	tr.Hist = append(tr.Hist, nil)
+	return tr.buf.N() - 1, nil
+}
+
+// N returns the number of live test particles.
+func (tr *Tracer) N() int { return tr.buf.N() }
+
+// Step advances all test particles one step and records their
+// trajectories; call it after the simulation's Step so the interpolator
+// holds the current fields. Tracers that leave through Absorb/Migrate
+// faces stop being recorded.
+func (tr *Tracer) Step(t float64) {
+	tr.kernel.AdvanceP(tr.buf)
+	tr.kernel.ClearOutgoing() // migrating test particles are dropped
+	for i := range tr.buf.P {
+		if i >= len(tr.Hist) {
+			tr.Hist = append(tr.Hist, nil)
+		}
+		p := &tr.buf.P[i]
+		x, y, z := tr.G.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
+		tr.Hist[i] = append(tr.Hist[i], TracerSample{
+			T: t, X: x, Y: y, Z: z, Ux: p.Ux, Uy: p.Uy, Uz: p.Uz,
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package diag
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/field"
+	"govpic/internal/grid"
+	"govpic/internal/interp"
+	"govpic/internal/push"
+)
+
+func allWrapActions() [6]push.Action {
+	return [6]push.Action{push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap}
+}
+
+func TestTracerGyration(t *testing.T) {
+	g := grid.MustNew(8, 8, 4, 1, 1, 1)
+	f := field.NewPeriodic(g)
+	for i := range f.Bz {
+		f.Bz[i] = 0.5
+	}
+	ip := interp.NewTable(g)
+	ip.Load(f)
+	dt := 0.05
+	tr := NewTracer(g, ip, -1, 1, dt, allWrapActions())
+	idx, err := tr.Add(4, 4, 2, 0.1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 500
+	for s := 0; s < steps; s++ {
+		tr.Step(float64(s) * dt)
+	}
+	hist := tr.Hist[idx]
+	if len(hist) != steps {
+		t.Fatalf("history length %d, want %d", len(hist), steps)
+	}
+	// |u| conserved along the recorded orbit.
+	for _, h := range hist {
+		u := math.Sqrt(float64(h.Ux)*float64(h.Ux) + float64(h.Uy)*float64(h.Uy))
+		if math.Abs(u-0.1) > 1e-5 {
+			t.Fatalf("tracer |u| drifted to %g", u)
+		}
+	}
+	// The trajectory traces a circle: x stays within a gyroradius of the
+	// start. rL = u/(|q|B/γm) ≈ 0.1/0.5 = 0.2 → diameter 0.4.
+	for _, h := range hist {
+		if math.Abs(h.X-hist[0].X) > 0.5 || math.Abs(h.Y-hist[0].Y) > 0.5 {
+			t.Fatalf("tracer wandered to (%g,%g)", h.X, h.Y)
+		}
+	}
+}
+
+func TestTracerDepositsNothing(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	f := field.NewPeriodic(g)
+	ip := interp.NewTable(g)
+	ip.Load(f)
+	tr := NewTracer(g, ip, -1, 1, 0.2, allWrapActions())
+	if _, err := tr.Add(2, 2, 2, 5, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 20; s++ {
+		tr.Step(float64(s) * 0.2)
+	}
+	for _, c := range tr.acc.A {
+		for _, v := range c.JX {
+			if v != 0 {
+				t.Fatal("zero-weight tracer deposited current")
+			}
+		}
+	}
+}
+
+func TestTracerRejectsOutsideSeed(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	f := field.NewPeriodic(g)
+	ip := interp.NewTable(g)
+	ip.Load(f)
+	tr := NewTracer(g, ip, -1, 1, 0.2, allWrapActions())
+	if _, err := tr.Add(100, 2, 2, 0, 0, 0); err == nil {
+		t.Fatal("accepted out-of-domain tracer")
+	}
+	if tr.N() != 0 {
+		t.Fatal("failed add left a particle")
+	}
+}

@@ -1,0 +1,308 @@
+package domain
+
+import (
+	"testing"
+
+	"govpic/internal/accum"
+	"govpic/internal/field"
+	"govpic/internal/grid"
+	"govpic/internal/interp"
+	"govpic/internal/mp"
+	"govpic/internal/particle"
+	"govpic/internal/push"
+)
+
+func periodicConfig(nRanks, gnx, gny, gnz int) Config {
+	dec, err := grid.ChooseDecomp(nRanks, gnx, gny, gnz)
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Dec: dec, DX: 1, DY: 1, DZ: 1,
+		ParticleBC: [6]push.Action{push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap},
+	}
+}
+
+func TestNewValidatesWorldSize(t *testing.T) {
+	cfg := periodicConfig(2, 8, 1, 1)
+	mp.Run(3, func(c *mp.Comm) {
+		if _, err := New(cfg, c); err == nil {
+			t.Error("accepted mismatched world size")
+		}
+	})
+}
+
+func TestNewValidatesParticleBC(t *testing.T) {
+	cfg := periodicConfig(2, 8, 1, 1)
+	cfg.ParticleBC[0] = push.Reflect // periodic axis must Wrap
+	mp.Run(2, func(c *mp.Comm) {
+		if _, err := New(cfg, c); err == nil {
+			t.Error("accepted Reflect on periodic axis")
+		}
+	})
+}
+
+func TestRemoteFlagsPeriodicX(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Periodic decomposed x: both x faces remote on every rank.
+		if !d.Remote(field.XLo) || !d.Remote(field.XHi) {
+			t.Errorf("rank %d: x faces should be remote", c.Rank())
+		}
+		// y, z single-rank: local.
+		if d.Remote(field.YLo) || d.Remote(field.ZHi) {
+			t.Errorf("rank %d: y/z faces should be local", c.Rank())
+		}
+		acts := d.ParticleActions()
+		if acts[field.XLo] != push.Migrate || acts[field.YLo] != push.Wrap {
+			t.Errorf("rank %d: wrong particle actions %v", c.Rank(), acts)
+		}
+	})
+}
+
+func TestRemoteFlagsBoundedX(t *testing.T) {
+	dec, _ := grid.ChooseDecomp(2, 8, 1, 1)
+	cfg := Config{
+		Dec: dec, DX: 1, DY: 1, DZ: 1,
+		FieldBC: [6]field.BC{
+			field.XLo: field.Absorbing, field.XHi: field.Absorbing,
+			field.YLo: field.Periodic, field.YHi: field.Periodic,
+			field.ZLo: field.Periodic, field.ZHi: field.Periodic,
+		},
+		ParticleBC: [6]push.Action{
+			field.XLo: push.Absorb, field.XHi: push.Absorb,
+			field.YLo: push.Wrap, field.YHi: push.Wrap,
+			field.ZLo: push.Wrap, field.ZHi: push.Wrap,
+		},
+	}
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		switch c.Rank() {
+		case 0:
+			if d.Remote(field.XLo) {
+				t.Error("rank 0 XLo must be a local wall")
+			}
+			if !d.Remote(field.XHi) {
+				t.Error("rank 0 XHi must be remote")
+			}
+			if d.ParticleActions()[field.XLo] != push.Absorb {
+				t.Error("rank 0 XLo action must be Absorb")
+			}
+		case 1:
+			if !d.Remote(field.XLo) || d.Remote(field.XHi) {
+				t.Error("rank 1 remote flags wrong")
+			}
+		}
+	})
+}
+
+func TestExchangeGhostE(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := d.G
+		// Tag each rank's interior Ey with rank*1000 + ix.
+		for iz := 0; iz <= g.NZ+1; iz++ {
+			for iy := 0; iy <= g.NY+1; iy++ {
+				for ix := 1; ix <= g.NX; ix++ {
+					d.F.Ey[g.Voxel(ix, iy, iz)] = float32(1000*c.Rank() + ix)
+				}
+			}
+		}
+		d.F.UpdateGhostE()
+		d.ExchangeGhostE()
+		other := 1 - c.Rank()
+		// Plane N+1 must hold the high neighbor's plane 1.
+		got := d.F.Ey[g.Voxel(g.NX+1, 1, 1)]
+		if want := float32(1000*other + 1); got != want {
+			t.Errorf("rank %d plane N+1 = %g, want %g", c.Rank(), got, want)
+		}
+		// Ghost plane 0 must hold the low neighbor's plane N.
+		got = d.F.Ey[g.Voxel(0, 1, 1)]
+		if want := float32(1000*other + 4); got != want {
+			t.Errorf("rank %d plane 0 = %g, want %g", c.Rank(), got, want)
+		}
+	})
+}
+
+func TestExchangeJFolds(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := d.G
+		// Both ranks deposit 1.0 on their shared high plane and 2.0 on
+		// their own plane 1.
+		d.F.Jx[g.Voxel(g.NX+1, 1, 1)] = 1
+		d.F.Jx[g.Voxel(1, 1, 1)] = 2
+		d.ExchangeJ()
+		// Each plane 1 must now hold 2 + the neighbor's 1.
+		if got := d.F.Jx[g.Voxel(1, 1, 1)]; got != 3 {
+			t.Errorf("rank %d folded J = %g, want 3", c.Rank(), got)
+		}
+		// And the ghost copy of the high plane must mirror the neighbor's
+		// folded plane 1.
+		if got := d.F.Jx[g.Voxel(g.NX+1, 1, 1)]; got != 3 {
+			t.Errorf("rank %d refreshed high plane = %g, want 3", c.Rank(), got)
+		}
+	})
+}
+
+func TestExchangeNodeScalar(t *testing.T) {
+	cfg := periodicConfig(2, 4, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := d.G
+		rho := make([]float32, g.NV())
+		rho[g.Voxel(g.NX+1, 1, 1)] = 0.5
+		rho[g.Voxel(1, 1, 1)] = 1
+		d.ExchangeNodeScalar(rho)
+		if got := rho[g.Voxel(1, 1, 1)]; got != 1.5 {
+			t.Errorf("rank %d rho fold = %g, want 1.5", c.Rank(), got)
+		}
+	})
+}
+
+func TestParticleMigration(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := d.G
+		ip := interp.NewTable(g)
+		ip.Load(d.F) // zero fields
+		acc := accum.New(g)
+		k := push.NewKernel(g, ip, acc, -1, 1, 0.4)
+		k.Bound = d.ParticleActions()
+		buf := particle.NewBuffer(0)
+		if c.Rank() == 0 {
+			// Fast particle at the high-x edge of rank 0's last cell.
+			buf.Append(particle.Particle{Dx: 0.95, Voxel: int32(g.Voxel(g.NX, 1, 2)), Ux: 10, W: 1})
+		}
+		acc.Clear()
+		k.AdvanceP(buf)
+		d.ExchangeParticles([]*push.Kernel{k}, []*particle.Buffer{buf})
+		switch c.Rank() {
+		case 0:
+			if buf.N() != 0 {
+				t.Errorf("rank 0 still holds %d particles", buf.N())
+			}
+		case 1:
+			if buf.N() != 1 {
+				t.Errorf("rank 1 holds %d particles, want 1", buf.N())
+				return
+			}
+			ix, iy, iz := g.Unvoxel(int(buf.P[0].Voxel))
+			if ix != 1 || iy != 1 || iz != 2 {
+				t.Errorf("migrated particle at (%d,%d,%d), want (1,1,2)", ix, iy, iz)
+			}
+		}
+	})
+}
+
+func TestParticleMigrationWrapsPeriodically(t *testing.T) {
+	// A particle leaving the global high-x boundary must wrap to rank 0.
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := d.G
+		ip := interp.NewTable(g)
+		ip.Load(d.F)
+		acc := accum.New(g)
+		k := push.NewKernel(g, ip, acc, -1, 1, 0.4)
+		k.Bound = d.ParticleActions()
+		buf := particle.NewBuffer(0)
+		if c.Rank() == 1 {
+			buf.Append(particle.Particle{Dx: 0.95, Voxel: int32(g.Voxel(g.NX, 2, 1)), Ux: 10, W: 1})
+		}
+		acc.Clear()
+		k.AdvanceP(buf)
+		d.ExchangeParticles([]*push.Kernel{k}, []*particle.Buffer{buf})
+		if c.Rank() == 0 && buf.N() != 1 {
+			t.Errorf("rank 0 holds %d particles after wrap, want 1", buf.N())
+		}
+		if c.Rank() == 1 && buf.N() != 0 {
+			t.Errorf("rank 1 still holds %d particles", buf.N())
+		}
+	})
+}
+
+func TestCornerMigrationSettles(t *testing.T) {
+	// 2×2 decomposition; a particle crossing both x and y rank faces in
+	// one step needs the multi-sweep exchange.
+	cfg := periodicConfig(4, 8, 8, 1)
+	mp.Run(4, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := d.G
+		ip := interp.NewTable(g)
+		ip.Load(d.F)
+		acc := accum.New(g)
+		k := push.NewKernel(g, ip, acc, -1, 1, 0.45)
+		k.Bound = d.ParticleActions()
+		buf := particle.NewBuffer(0)
+		if c.Rank() == 0 {
+			buf.Append(particle.Particle{
+				Dx: 0.99, Dy: 0.99,
+				Voxel: int32(g.Voxel(g.NX, g.NY, 1)),
+				Ux:    10, Uy: 10, W: 1,
+			})
+		}
+		acc.Clear()
+		k.AdvanceP(buf)
+		d.ExchangeParticles([]*push.Kernel{k}, []*particle.Buffer{buf})
+		total := c.AllreduceSumInt(int64(buf.N()))
+		if total != 1 {
+			t.Errorf("rank %d: global particle count %d, want 1", c.Rank(), total)
+		}
+		// The diagonal neighbor of rank 0 in a 2×2 grid is rank 3.
+		if c.Rank() == 3 && buf.N() != 1 {
+			t.Errorf("corner particle did not reach rank 3")
+		}
+	})
+}
+
+func TestCommBytesCounted(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		d.ExchangeGhostE()
+		if d.CommBytes == 0 {
+			t.Error("CommBytes not accumulated")
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Package experiments implements the paper-reproduction harness: one
+// entry point per table/figure of the evaluation (E1–E10 in DESIGN.md)
+// plus the design-choice ablations. Each experiment returns a Result —
+// machine-readable rows plus formatted text — and is driven by both the
+// root-level benchmarks and the command-line tools.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one experiment's output table.
+type Result struct {
+	Name    string
+	Headers []string
+	Rows    [][]float64
+	// Text is the preformatted human-readable report (includes any
+	// non-tabular content such as the machine-model narrative).
+	Text string
+}
+
+// Format renders the result's table with its name and any extra text.
+func (r Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", r.Name)
+	if len(r.Headers) > 0 {
+		for i, h := range r.Headers {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%14s", h)
+		}
+		sb.WriteString("\n")
+		for _, row := range r.Rows {
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				fmt.Fprintf(&sb, "%14.5g", v)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if r.Text != "" {
+		sb.WriteString(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// Scale selects how much work the physics experiments do; benches use
+// Small by default, the cmd tools default to Medium.
+type Scale int
+
+const (
+	Small Scale = iota
+	Medium
+	Large
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"govpic/internal/deck"
+	"govpic/internal/push"
+	"govpic/internal/roadrunner"
+)
+
+// E1Campaign reproduces the campaign configuration table: the paper's
+// full-scale run (10^12 particles on 1.36×10^8 voxels) and the scaled
+// tiers this repository executes, with the linear particle-step cost
+// model connecting them.
+func E1Campaign(stepsFullScale int) Result {
+	entries := deck.Campaign()
+	rows := make([][]float64, len(entries))
+	for i, e := range entries {
+		rows[i] = []float64{float64(i), e.Voxels, e.Particles, e.PPC, e.ParticleSteps(stepsFullScale)}
+	}
+	return Result{
+		Name:    "E1 campaign tiers (row 0 = the paper's trillion-particle run)",
+		Headers: []string{"tier#", "voxels", "particles", "ppc", fmt.Sprintf("part-steps@%d", stepsFullScale)},
+		Rows:    rows,
+		Text:    deck.FormatCampaign(entries),
+	}
+}
+
+// E6RoadrunnerModel evaluates the calibrated machine model: inner-loop
+// and sustained Pflop/s versus triblade count, reproducing the
+// abstract's 0.488/0.374 headline at the full 3060-triblade machine, and
+// the time per step of the trillion-particle run.
+func E6RoadrunnerModel() Result {
+	m := roadrunner.Default(push.FlopsPerPush, push.BytesPerPush)
+	counts := []int{180, 360, 720, 1440, 2160, 3060}
+	table := m.ScalingTable(counts)
+	rows := make([][]float64, len(table))
+	for i, r := range table {
+		rows[i] = []float64{float64(r.Triblades), r.PeakPF, r.InnerPF, r.SustainedPF, r.PctPeak, r.TrillionStepS}
+	}
+	return Result{
+		Name:    "E6 Roadrunner extrapolation (calibrated to 0.488/0.374 at 3060)",
+		Headers: []string{"triblades", "peak PF", "inner PF", "sustained PF", "% peak", "s/step@1e12"},
+		Rows:    rows,
+		Text: fmt.Sprintf("model: inner efficiency %.4f of SPE peak, step efficiency %.4f at full machine\nflops/particle = %d, bytes/particle = %d, arithmetic intensity %.2f flops/byte\n",
+			m.InnerEfficiency, m.StepEfficiency(3060), push.FlopsPerPush, push.BytesPerPush, m.ArithmeticIntensity()),
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"govpic/internal/core"
+	"govpic/internal/deck"
+	"govpic/internal/diag"
+	"govpic/internal/push"
+)
+
+func tierFor(scale Scale) string {
+	switch scale {
+	case Small:
+		return "scaled-small"
+	case Medium:
+		return "scaled-medium"
+	default:
+		return "scaled-large"
+	}
+}
+
+// runReflectivity drives one LPI deck to (quasi-)steady state and
+// returns the measured reflectivity plus the recording reflectometer.
+func runReflectivity(d deck.Deck, extraWindow float64) (*diag.Reflectometer, *core.Simulation, error) {
+	s, err := d.New()
+	if err != nil {
+		return nil, nil, err
+	}
+	total := d.Notes["total"]
+	// Measure once both waves have crossed the box and the ramps are
+	// over, and keep measuring for several EPW response times 1/νL so
+	// both the burst peaks and the detuned valleys are averaged in.
+	tStart := total + 60
+	tEnd := math.Max(500, 2*total+150) + extraWindow
+	rk, ix, err := s.RankAt(d.Notes["probeX"])
+	if err != nil {
+		return nil, nil, err
+	}
+	refl := &diag.Reflectometer{IX: ix, Record: true}
+	for s.Time() < tEnd {
+		s.Step()
+		if s.Time() > tStart {
+			refl.Sample(rk.D.F, s.Time())
+		}
+	}
+	return refl, s, nil
+}
+
+// E7Reflectivity sweeps the pump strength and measures the backscatter
+// reflectivity — the paper's parameter study ("laser reflectivity as a
+// function of laser intensity"). Columns: the PIC measurement, the
+// linear convective-gain prediction, and the no-gain seed floor. The
+// shape to reproduce: R tracks the linear curve at low intensity and
+// rises steeply (trapping inflation) above threshold.
+func E7Reflectivity(a0s []float64, scale Scale) (Result, error) {
+	var rows [][]float64
+	for _, a0 := range a0s {
+		d, err := deck.ScaledLPI(tierFor(scale), a0)
+		if err != nil {
+			return Result{}, err
+		}
+		refl, _, err := runReflectivity(d, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		rows = append(rows, []float64{
+			a0, a0 * a0,
+			refl.Reflectivity(),
+			refl.MaxWindowed(50),
+			d.Notes["Rlinear"],
+			d.Notes["Rfloor"],
+			d.Notes["gamma0"],
+		})
+	}
+	return Result{
+		Name:    "E7 reflectivity vs pump strength (quasi-1D seeded SRS)",
+		Headers: []string{"a0", "I (a0²)", "R_mean", "R_burst", "R_linear", "R_floor", "gamma0"},
+		Rows:    rows,
+	}, nil
+}
+
+// E7Reflectivity3D runs one parameter-study point in the paper's true
+// geometry — a 3-D box with a Gaussian laser spot — exercising every
+// 3-D code path (transverse currents, full Yee curl, 3-D migration)
+// end to end. The physics shape matches quasi-1D at lower statistics;
+// the quasi-1D sweep (E7) carries the curve.
+func E7Reflectivity3D(a0 float64, transverseCells int) (Result, error) {
+	p := deck.DefaultLPI(a0)
+	p.PlateauLength = 20
+	p.VacuumLength = 6
+	p.RampLength = 6
+	p.PPC = 16
+	p.TransverseCells = transverseCells
+	d, err := deck.LPI(p)
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := d.New()
+	if err != nil {
+		return Result{}, err
+	}
+	total := d.Notes["total"]
+	rk, ix, err := s.RankAt(d.Notes["probeX"])
+	if err != nil {
+		return Result{}, err
+	}
+	refl := &diag.Reflectometer{IX: ix}
+	tEnd := 2*total + 120
+	for s.Time() < tEnd {
+		s.Step()
+		if s.Time() > total+50 {
+			refl.Sample(rk.D.F, s.Time())
+		}
+	}
+	return Result{
+		Name:    "E7b single-point 3-D reflectivity (Gaussian spot)",
+		Headers: []string{"a0", "transverse", "particles", "R_mean", "R_floor"},
+		Rows: [][]float64{{
+			a0, float64(transverseCells), float64(s.TotalParticles()),
+			refl.Reflectivity(), d.Notes["Rfloor"],
+		}},
+	}, nil
+}
+
+// E8Trapping measures electron distribution flattening at the plasma
+// wave phase velocity — the trapping physics the trillion-particle runs
+// were built to resolve. It reports the plateau metric (measured f over
+// Maxwellian fit at u_phi) before and after the SRS interaction.
+func E8Trapping(a0 float64, scale Scale) (Result, error) {
+	d, err := deck.ScaledLPI(tierFor(scale), a0)
+	if err != nil {
+		return Result{}, err
+	}
+	we := 1 - d.Notes["ws"]
+	vphi := we / d.Notes["ke"]
+	uphi := vphi / math.Sqrt(1-vphi*vphi)
+	uth := math.Sqrt(0.005088)
+	total := d.Notes["total"]
+	xmin, xmax := total*0.25, total*0.75 // plateau region
+
+	s, err := d.New()
+	if err != nil {
+		return Result{}, err
+	}
+	bins := 160
+	umin, umax := -4*uphi, 4*uphi
+	h0 := s.DistUx(0, xmin, xmax, umin, umax, bins)
+	p0 := diag.PlateauMetric(h0, umin, umax, uth, uphi)
+
+	tEnd := 2*total + 150
+	for s.Time() < tEnd {
+		s.Step()
+	}
+	h1 := s.DistUx(0, xmin, xmax, umin, umax, bins)
+	p1 := diag.PlateauMetric(h1, umin, umax, uth, uphi)
+
+	// Phase-space structure: trapping vortices bunch the resonant band
+	// in x at the plasma-wave wavelength.
+	ps := diag.NewPhaseSpace(xmin, xmax, 64, uphi*0.7, uphi*1.3, 16)
+	for _, rk := range s.Ranks {
+		ps.Accumulate(rk.D.G, rk.Species[0].Buf)
+	}
+	vortex := ps.VortexContrast(uphi*0.8, uphi*1.2)
+
+	return Result{
+		Name:    "E8 particle trapping (distribution flattening at v_phi)",
+		Headers: []string{"a0", "u_phi", "u_phi/u_th", "plateau(t=0)", "plateau(end)", "enhancement", "vortex"},
+		Rows:    [][]float64{{a0, uphi, uphi / uth, p0, p1, safeDiv(p1, p0), vortex}},
+		Text:    fmt.Sprintf("plateau = f(u_phi)/Maxwellian fit (≈1 untouched, ≫1 flattened); vortex = x-bunching contrast of the resonant band\n"),
+	}, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// E9TimeHistory records the reflected-flux time series below and above
+// the inflation threshold; the paper's histories are smooth below and
+// strongly bursty above. Reported: the coefficient of variation of the
+// backscattered flux.
+func E9TimeHistory(a0Low, a0High float64, scale Scale) (Result, error) {
+	burst := func(a0 float64) ([]float64, error) {
+		d, err := deck.ScaledLPI(tierFor(scale), a0)
+		if err != nil {
+			return nil, err
+		}
+		refl, _, err := runReflectivity(d, 60)
+		if err != nil {
+			return nil, err
+		}
+		// The backscatter spectrum must peak at the Raman-shifted ωs.
+		return []float64{a0, refl.Reflectivity(), refl.Burstiness(),
+			refl.DominantFrequency(), d.Notes["ws"]}, nil
+	}
+	lo, err := burst(a0Low)
+	if err != nil {
+		return Result{}, err
+	}
+	hi, err := burst(a0High)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Name:    "E9 reflectivity time history: burstiness (σ/µ) and backscatter spectrum",
+		Headers: []string{"a0", "R", "burstiness", "ω_back", "ωs theory"},
+		Rows:    [][]float64{lo, hi},
+	}, nil
+}
+
+// E10Conservation quantifies the code-fidelity invariants behind the
+// paper's "unprecedented fidelity" claim on a thermal plasma: relative
+// energy drift, Gauss-law residual, momentum drift, and div B.
+func E10Conservation(cells, ppc, steps int) (Result, error) {
+	d := deck.Thermal(cells, 4, 4, ppc, 1, 0.2, 0.05)
+	d.Cfg.CleanInterval = 20
+	s, err := d.New()
+	if err != nil {
+		return Result{}, err
+	}
+	e0 := s.Energy()
+	px0, _, _ := s.Ranks[0].Species[0].Buf.Momentum(1)
+	s.Run(steps)
+	e1 := s.Energy()
+	px1, _, _ := s.Ranks[0].Species[0].Buf.Momentum(1)
+
+	// Gauss residual with the neutralizing background, recomputed the
+	// same way the cleaner sees it.
+	rk := s.Ranks[0]
+	gauss := gaussResidual(rk)
+
+	drift := math.Abs(e1.Total-e0.Total) / e0.Total
+	pscale := math.Max(math.Abs(px0), float64(s.TotalParticles())*0.05*0.01)
+	pdrift := math.Abs(px1-px0) / pscale
+	return Result{
+		Name:    "E10 conservation invariants (thermal plasma)",
+		Headers: []string{"steps", "energy drift", "gauss RMS", "momentum drift", "divB RMS"},
+		Rows:    [][]float64{{float64(steps), drift, gauss, pdrift, e1.DivBError}},
+	}, nil
+}
+
+func gaussResidual(rk *core.Rank) float64 {
+	f := rk.D.F
+	rho := make([]float32, rk.D.G.NV())
+	for _, sp := range rk.Species {
+		push.DepositRho(rk.D.G, sp.Buf, sp.Q, rho)
+	}
+	f.FoldNodeScalar(rho)
+	if bg := rk.Background(); bg != nil {
+		for i, v := range bg {
+			rho[i] += v
+		}
+	}
+	_, rms := f.DivEError(rho, nil)
+	return rms
+}

@@ -1,0 +1,94 @@
+package field
+
+// AdvanceB advances cB by frac·dt using the curl of E:
+// ∂B/∂t = −∇×E. VPIC calls this twice per step with frac = 0.5 so that
+// B is known at both half-integer and integer times. Boundary-owned E
+// values (index N+1) must be current (call UpdateGhostE after the last
+// E change).
+func (f *Fields) AdvanceB(dt, frac float64) {
+	g := f.G
+	sx, sy, _ := g.Strides()
+	sxy := sx * sy
+	h := dt * frac
+	py := float32(h / g.DY)
+	pz := float32(h / g.DZ)
+	px := float32(h / g.DX)
+	ex, ey, ez := f.Ex, f.Ey, f.Ez
+	bx, by, bz := f.Bx, f.By, f.Bz
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			v := g.Voxel(1, iy, iz)
+			for ix := 1; ix <= g.NX; ix++ {
+				bx[v] -= py*(ez[v+sx]-ez[v]) - pz*(ey[v+sxy]-ey[v])
+				by[v] -= pz*(ex[v+sxy]-ex[v]) - px*(ez[v+1]-ez[v])
+				bz[v] -= px*(ey[v+1]-ey[v]) - py*(ex[v+sx]-ex[v])
+				v++
+			}
+		}
+	}
+	f.UpdateGhostB()
+}
+
+// AdvanceE advances E by a full dt using the curl of B and the free
+// current J: ∂E/∂t = ∇×B − J. Mur faces are advanced with their
+// characteristic update; conductor faces keep tangential E = 0.
+func (f *Fields) AdvanceE(dt float64) {
+	if f.mur != nil {
+		f.mur.snapshot(f)
+	}
+	g := f.G
+	sx, sy, _ := g.Strides()
+	sxy := sx * sy
+	px := float32(dt / g.DX)
+	py := float32(dt / g.DY)
+	pz := float32(dt / g.DZ)
+	cj := float32(dt)
+	ex, ey, ez := f.Ex, f.Ey, f.Ez
+	bx, by, bz := f.Bx, f.By, f.Bz
+	jx, jy, jz := f.Jx, f.Jy, f.Jz
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			v := g.Voxel(1, iy, iz)
+			for ix := 1; ix <= g.NX; ix++ {
+				ex[v] += py*(bz[v]-bz[v-sx]) - pz*(by[v]-by[v-sxy]) - cj*jx[v]
+				ey[v] += pz*(bx[v]-bx[v-sxy]) - px*(bz[v]-bz[v-1]) - cj*jy[v]
+				ez[v] += px*(by[v]-by[v-1]) - py*(bx[v]-bx[v-sx]) - cj*jz[v]
+				v++
+			}
+		}
+	}
+	f.UpdateGhostE()
+	if f.mur != nil {
+		f.mur.apply(f, dt)
+	}
+}
+
+// applyEBoundary enforces the non-periodic boundary condition for
+// tangential E on one face. Mur faces are handled separately by
+// murState.apply (which needs previous-step values); here they fall
+// through to nothing.
+func (f *Fields) applyEBoundary(face Face, axis int) {
+	switch f.bc[face] {
+	case Conductor:
+		idx := 1
+		if face.High() {
+			idx = axisN(f.G, axis) + 1
+		}
+		t1, t2 := tangential(f, axis)
+		f.zeroPlane([][]float32{t1, t2}, axis, idx)
+	case Absorbing:
+		// handled by murState.apply after the interior update
+	}
+}
+
+// tangential returns the two E components tangential to the given axis.
+func tangential(f *Fields, axis int) (a, b []float32) {
+	switch axis {
+	case 0:
+		return f.Ey, f.Ez
+	case 1:
+		return f.Ez, f.Ex
+	default:
+		return f.Ex, f.Ey
+	}
+}

@@ -1,0 +1,105 @@
+package field
+
+import (
+	"math"
+
+	"govpic/internal/grid"
+)
+
+// EnergyE returns the electric field energy ½∫E²dV over the interior
+// cells, accumulated in double precision. For periodic domains this is
+// exact; for bounded domains the boundary-plane surface contribution
+// (an O(1/N) sliver) is excluded.
+func (f *Fields) EnergyE() float64 {
+	return 0.5 * f.G.Volume() * (sumSq(f.G, f.Ex) + sumSq(f.G, f.Ey) + sumSq(f.G, f.Ez))
+}
+
+// EnergyB returns the magnetic field energy ½∫(cB)²dV over the interior
+// cells.
+func (f *Fields) EnergyB() float64 {
+	return 0.5 * f.G.Volume() * (sumSq(f.G, f.Bx) + sumSq(f.G, f.By) + sumSq(f.G, f.Bz))
+}
+
+// Energy returns EnergyE() + EnergyB().
+func (f *Fields) Energy() float64 { return f.EnergyE() + f.EnergyB() }
+
+func sumSq(g *grid.Grid, a []float32) float64 {
+	var s float64
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			v := g.Voxel(1, iy, iz)
+			for ix := 1; ix <= g.NX; ix++ {
+				s += float64(a[v]) * float64(a[v])
+				v++
+			}
+		}
+	}
+	return s
+}
+
+// DivB writes the cell-centered divergence of B into dst (length NV;
+// allocated when nil) and returns it together with its interior RMS.
+// A leapfrogged Yee update preserves div B = 0 to rounding; growth
+// signals a bug or an inconsistent initial condition.
+func (f *Fields) DivB(dst []float32) ([]float32, float64) {
+	g := f.G
+	if len(dst) != g.NV() {
+		dst = make([]float32, g.NV())
+	}
+	sx, sy, _ := g.Strides()
+	sxy := sx * sy
+	rx := float32(1 / g.DX)
+	ry := float32(1 / g.DY)
+	rz := float32(1 / g.DZ)
+	var sum2 float64
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			v := g.Voxel(1, iy, iz)
+			for ix := 1; ix <= g.NX; ix++ {
+				d := rx*(f.Bx[v+1]-f.Bx[v]) + ry*(f.By[v+sx]-f.By[v]) + rz*(f.Bz[v+sxy]-f.Bz[v])
+				dst[v] = d
+				sum2 += float64(d) * float64(d)
+				v++
+			}
+		}
+	}
+	return dst, rms(sum2, g.NCells())
+}
+
+// DivEError writes div E − ρ at interior nodes into dst (length NV;
+// allocated when nil) and returns it with its RMS over interior nodes.
+// rho must hold the charge density at nodes (same indexing); ghost
+// planes of E must be current (UpdateGhostE).
+func (f *Fields) DivEError(rho []float32, dst []float32) ([]float32, float64) {
+	g := f.G
+	if len(dst) != g.NV() {
+		dst = make([]float32, g.NV())
+	}
+	sx, sy, _ := g.Strides()
+	sxy := sx * sy
+	rx := float32(1 / g.DX)
+	ry := float32(1 / g.DY)
+	rz := float32(1 / g.DZ)
+	var sum2 float64
+	n := 0
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			v := g.Voxel(1, iy, iz)
+			for ix := 1; ix <= g.NX; ix++ {
+				d := rx*(f.Ex[v]-f.Ex[v-1]) + ry*(f.Ey[v]-f.Ey[v-sx]) + rz*(f.Ez[v]-f.Ez[v-sxy]) - rho[v]
+				dst[v] = d
+				sum2 += float64(d) * float64(d)
+				n++
+				v++
+			}
+		}
+	}
+	return dst, rms(sum2, n)
+}
+
+func rms(sum2 float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum2 / float64(n))
+}

@@ -1,0 +1,317 @@
+// Package field implements the electromagnetic field state and the
+// explicit FDTD Maxwell solver on the Yee mesh, in VPIC's normalization
+// (c = ε0 = µ0 = 1, B arrays store cB):
+//
+//	∂B/∂t = −∇×E
+//	∂E/∂t = ∇×B − J
+//
+// Yee staggering relative to cell (i,j,k)'s low corner node:
+//
+//	Ex,Jx on the x-edge (+½dx);  Ey,Jy on the y-edge;  Ez,Jz on the z-edge
+//	Bx on the x-face (+½dy+½dz); By on the y-face;     Bz on the z-face
+//
+// Interior updates cover node indices 1..N on each axis; index N+1 holds
+// the high-boundary degrees of freedom, owned by the boundary condition
+// (periodic copy, perfect conductor, or first-order Mur absorber), and
+// index 0 is a pure ghost layer.
+package field
+
+import (
+	"fmt"
+
+	"govpic/internal/grid"
+)
+
+// BC selects the field boundary condition applied on one domain face.
+type BC uint8
+
+const (
+	// Periodic identifies the two opposing faces of the axis.
+	Periodic BC = iota
+	// Conductor is a perfect electric conductor: tangential E and normal
+	// B vanish on the face.
+	Conductor
+	// Absorbing is a first-order Mur absorbing boundary for tangential E,
+	// suitable for letting laser light leave the box.
+	Absorbing
+)
+
+func (b BC) String() string {
+	switch b {
+	case Periodic:
+		return "periodic"
+	case Conductor:
+		return "conductor"
+	case Absorbing:
+		return "absorbing"
+	}
+	return fmt.Sprintf("BC(%d)", uint8(b))
+}
+
+// Face indexes the six domain faces.
+type Face int
+
+const (
+	XLo Face = iota
+	XHi
+	YLo
+	YHi
+	ZLo
+	ZHi
+	NumFaces
+)
+
+// Axis returns the axis (0,1,2) the face is normal to.
+func (f Face) Axis() int { return int(f) / 2 }
+
+// High reports whether the face is on the high side of its axis.
+func (f Face) High() bool { return int(f)%2 == 1 }
+
+// Fields holds the electromagnetic state of one rank's domain.
+type Fields struct {
+	G *grid.Grid
+
+	// Electric field on Yee edges and the free current driving it.
+	Ex, Ey, Ez []float32
+	Jx, Jy, Jz []float32
+	// cB on Yee faces.
+	Bx, By, Bz []float32
+
+	bc [NumFaces]BC
+	// remote marks faces owned by a neighbor rank: their ghost/boundary
+	// planes are filled by the domain exchange, and every local BC
+	// application (periodic copy, conductor zero, Mur) skips them.
+	remote [NumFaces]bool
+
+	mur *murState // lazily allocated when any face is Absorbing
+}
+
+// New allocates a zeroed field state on g with the given per-face
+// boundary conditions. Periodic conditions must be specified on both
+// faces of an axis or neither.
+func New(g *grid.Grid, bc [NumFaces]BC) (*Fields, error) {
+	return NewDecomposed(g, bc, [NumFaces]bool{})
+}
+
+// NewDecomposed is New for one rank of a decomposed domain: faces
+// flagged remote belong to neighbor ranks and are serviced by the
+// exchange layer rather than the local boundary condition (whose value
+// on a remote face records the *global* BC of that axis but is not
+// applied locally).
+func NewDecomposed(g *grid.Grid, bc [NumFaces]BC, remote [NumFaces]bool) (*Fields, error) {
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := bc[2*axis], bc[2*axis+1]
+		if (lo == Periodic) != (hi == Periodic) {
+			return nil, fmt.Errorf("field: axis %d mixes periodic with %v", axis, hi)
+		}
+		if bc[2*axis] == Periodic && remote[2*axis] != remote[2*axis+1] {
+			return nil, fmt.Errorf("field: axis %d periodic with only one remote face", axis)
+		}
+	}
+	nv := g.NV()
+	f := &Fields{
+		G:  g,
+		Ex: make([]float32, nv), Ey: make([]float32, nv), Ez: make([]float32, nv),
+		Bx: make([]float32, nv), By: make([]float32, nv), Bz: make([]float32, nv),
+		Jx: make([]float32, nv), Jy: make([]float32, nv), Jz: make([]float32, nv),
+		bc: bc, remote: remote,
+	}
+	for face := Face(0); face < NumFaces; face++ {
+		if bc[face] == Absorbing && !remote[face] {
+			f.mur = newMurState(g)
+			break
+		}
+	}
+	return f, nil
+}
+
+// Remote reports whether the face is serviced by a neighbor rank.
+func (f *Fields) Remote(face Face) bool { return f.remote[face] }
+
+// MustNew is New but panics on error.
+func MustNew(g *grid.Grid, bc [NumFaces]BC) *Fields {
+	f, err := New(g, bc)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewPeriodic allocates a fully periodic field state on g.
+func NewPeriodic(g *grid.Grid) *Fields {
+	return MustNew(g, [NumFaces]BC{})
+}
+
+// BCAt returns the boundary condition on the given face.
+func (f *Fields) BCAt(face Face) BC { return f.bc[face] }
+
+// ClearJ zeroes the free-current arrays; called once per step before
+// particle deposition.
+func (f *Fields) ClearJ() {
+	clear(f.Jx)
+	clear(f.Jy)
+	clear(f.Jz)
+}
+
+// eArrays and bArrays enumerate components for generic plane operations.
+func (f *Fields) eArrays() [3][]float32 { return [3][]float32{f.Ex, f.Ey, f.Ez} }
+func (f *Fields) bArrays() [3][]float32 { return [3][]float32{f.Bx, f.By, f.Bz} }
+func (f *Fields) jArrays() [3][]float32 { return [3][]float32{f.Jx, f.Jy, f.Jz} }
+
+// copyPlane copies the source plane (axis index src) onto the
+// destination plane (axis index dst) for every array in arrs.
+func (f *Fields) copyPlane(arrs [][]float32, axis, dst, src int) {
+	forEachInPlane(f.G, axis, dst, src, func(di, si int) {
+		for _, a := range arrs {
+			a[di] = a[si]
+		}
+	})
+}
+
+// addPlane adds the source plane into the destination plane and zeroes
+// the source, used to fold periodic ghost currents.
+func (f *Fields) addPlane(arrs [][]float32, axis, dst, src int) {
+	forEachInPlane(f.G, axis, dst, src, func(di, si int) {
+		for _, a := range arrs {
+			a[di] += a[si]
+			a[si] = 0
+		}
+	})
+}
+
+// forEachInPlane visits every (dst,src) voxel index pair of two
+// constant-index planes normal to axis, spanning the full ghost-inclusive
+// extent of the other two axes.
+func forEachInPlane(g *grid.Grid, axis, dst, src int, fn func(di, si int)) {
+	sx, sy, sz := g.Strides()
+	switch axis {
+	case 0:
+		for iz := 0; iz < sz; iz++ {
+			for iy := 0; iy < sy; iy++ {
+				base := sx * (iy + sy*iz)
+				fn(base+dst, base+src)
+			}
+		}
+	case 1:
+		for iz := 0; iz < sz; iz++ {
+			for ix := 0; ix < sx; ix++ {
+				base := ix + sx*sy*iz
+				fn(base+sx*dst, base+sx*src)
+			}
+		}
+	case 2:
+		for iy := 0; iy < sy; iy++ {
+			for ix := 0; ix < sx; ix++ {
+				base := ix + sx*iy
+				fn(base+sx*sy*dst, base+sx*sy*src)
+			}
+		}
+	default:
+		panic("field: bad axis")
+	}
+}
+
+// localAxis reports whether both faces of the axis are locally owned.
+func (f *Fields) localAxis(axis int) bool {
+	return !f.remote[2*axis] && !f.remote[2*axis+1]
+}
+
+// UpdateGhostE refreshes the boundary-owned (index N+1) and ghost
+// (index 0) electric-field planes on locally owned faces. Remote faces
+// are left for the domain exchange.
+func (f *Fields) UpdateGhostE() {
+	e := f.eArrays()
+	arrs := [][]float32{e[0], e[1], e[2]}
+	for axis := 0; axis < 3; axis++ {
+		if f.bc[2*axis] == Periodic {
+			if f.localAxis(axis) {
+				n := axisN(f.G, axis)
+				f.copyPlane(arrs, axis, n+1, 1) // high boundary node ≡ low boundary node
+				f.copyPlane(arrs, axis, 0, n)   // low ghost
+			}
+			continue
+		}
+		if !f.remote[2*axis] {
+			f.applyEBoundary(Face(2*axis), axis)
+		}
+		if !f.remote[2*axis+1] {
+			f.applyEBoundary(Face(2*axis+1), axis)
+		}
+	}
+}
+
+// UpdateGhostB refreshes the locally owned ghost magnetic-field planes.
+func (f *Fields) UpdateGhostB() {
+	b := f.bArrays()
+	arrs := [][]float32{b[0], b[1], b[2]}
+	for axis := 0; axis < 3; axis++ {
+		if f.bc[2*axis] == Periodic {
+			if f.localAxis(axis) {
+				n := axisN(f.G, axis)
+				f.copyPlane(arrs, axis, n+1, 1)
+				f.copyPlane(arrs, axis, 0, n)
+			}
+			continue
+		}
+		// Non-periodic local faces: the ghost planes are never read with
+		// a physical meaning (the E boundary overwrite masks them), but
+		// keep the low ghost zero so diagnostics never see stale values.
+		if !f.remote[2*axis] {
+			f.zeroPlane(arrs, axis, 0)
+		}
+	}
+}
+
+// FoldGhostJ folds periodic ghost-plane currents (deposited at index
+// N+1 by particles in the last cell row) back onto the owning low plane,
+// for locally owned periodic axes.
+func (f *Fields) FoldGhostJ() {
+	j := f.jArrays()
+	arrs := [][]float32{j[0], j[1], j[2]}
+	for axis := 0; axis < 3; axis++ {
+		if f.bc[2*axis] == Periodic && f.localAxis(axis) {
+			n := axisN(f.G, axis)
+			f.addPlane(arrs, axis, 1, n+1)
+			// Refresh the boundary copy so edge values are consistent for
+			// any reader of plane N+1, and fill the low ghost so node-1
+			// divergences of J are well defined.
+			f.copyPlane(arrs, axis, n+1, 1)
+			f.copyPlane(arrs, axis, 0, n)
+		}
+	}
+}
+
+// FoldNodeScalar folds a node-centered scalar's periodic boundary
+// planes (deposition writes both node 1 and its alias N+1; the two must
+// be summed and mirrored so either index reads the full value). Used for
+// charge density. Remote axes are the exchange layer's job.
+func (f *Fields) FoldNodeScalar(a []float32) {
+	arrs := [][]float32{a}
+	for axis := 0; axis < 3; axis++ {
+		if f.bc[2*axis] != Periodic || !f.localAxis(axis) {
+			continue
+		}
+		n := axisN(f.G, axis)
+		f.addPlane(arrs, axis, 1, n+1)
+		f.copyPlane(arrs, axis, n+1, 1)
+	}
+}
+
+func (f *Fields) zeroPlane(arrs [][]float32, axis, idx int) {
+	forEachInPlane(f.G, axis, idx, idx, func(di, _ int) {
+		for _, a := range arrs {
+			a[di] = 0
+		}
+	})
+}
+
+func axisN(g *grid.Grid, axis int) int {
+	switch axis {
+	case 0:
+		return g.NX
+	case 1:
+		return g.NY
+	default:
+		return g.NZ
+	}
+}

@@ -1,0 +1,178 @@
+package loader
+
+import (
+	"math"
+	"testing"
+
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+)
+
+func TestLoadValidation(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	gl := Global{NX: 4, NY: 4, NZ: 4}
+	buf := particle.NewBuffer(0)
+	if _, err := Load(g, gl, Params{Profile: Uniform(0.1), PPC: 0, Nref: 0.1}, buf); err == nil {
+		t.Error("accepted PPC=0")
+	}
+	if _, err := Load(g, gl, Params{Profile: Uniform(0.1), PPC: 4, Nref: 0}, buf); err == nil {
+		t.Error("accepted Nref=0")
+	}
+}
+
+func TestLoadCountAndWeights(t *testing.T) {
+	g := grid.MustNew(4, 3, 2, 0.5, 0.5, 0.5)
+	gl := Global{NX: 4, NY: 3, NZ: 2}
+	buf := particle.NewBuffer(0)
+	n0 := 0.1
+	ppc := 16
+	got, err := Load(g, gl, Params{Profile: Uniform(n0), PPC: ppc, Nref: n0, Seed: 1}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.NCells() * ppc
+	if got != want || buf.N() != want {
+		t.Fatalf("loaded %d particles, want %d", got, want)
+	}
+	// Total charge-weight must equal n0 · domain volume.
+	var sumW float64
+	for _, p := range buf.P {
+		sumW += float64(p.W)
+	}
+	lx, ly, lz := g.Extent()
+	wantW := n0 * lx * ly * lz
+	if math.Abs(sumW-wantW) > 1e-4*wantW {
+		t.Fatalf("Σw = %g, want %g", sumW, wantW)
+	}
+}
+
+func TestLoadThermalSpread(t *testing.T) {
+	g := grid.MustNew(8, 8, 8, 1, 1, 1)
+	gl := Global{NX: 8, NY: 8, NZ: 8}
+	buf := particle.NewBuffer(0)
+	uth := 0.05
+	if _, err := Load(g, gl, Params{Profile: Uniform(0.2), PPC: 64, Nref: 0.2,
+		Uth: [3]float64{uth, uth, uth}, Drift: [3]float64{0.3, 0, 0}, Seed: 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	var mx, m2y float64
+	for _, p := range buf.P {
+		mx += float64(p.Ux)
+		m2y += float64(p.Uy) * float64(p.Uy)
+	}
+	n := float64(buf.N())
+	if math.Abs(mx/n-0.3) > 0.002 {
+		t.Fatalf("mean ux = %g, want 0.3", mx/n)
+	}
+	if math.Abs(math.Sqrt(m2y/n)-uth)/uth > 0.02 {
+		t.Fatalf("uy spread = %g, want %g", math.Sqrt(m2y/n), uth)
+	}
+}
+
+func TestLoadDecompositionInvariant(t *testing.T) {
+	// A global 8×2×2 mesh loaded as one tile vs two 4×2×2 tiles must
+	// produce the identical global particle set.
+	gl := Global{NX: 8, NY: 2, NZ: 2}
+	p := Params{Profile: Uniform(0.1), PPC: 8, Nref: 0.1,
+		Uth: [3]float64{0.1, 0.1, 0.1}, Seed: 42}
+
+	whole := particle.NewBuffer(0)
+	gw := grid.MustNew(8, 2, 2, 1, 1, 1)
+	if _, err := Load(gw, gl, p, whole); err != nil {
+		t.Fatal(err)
+	}
+
+	partA := particle.NewBuffer(0)
+	ga := grid.MustNew(4, 2, 2, 1, 1, 1) // tile at x0=0
+	if _, err := Load(ga, gl, p, partA); err != nil {
+		t.Fatal(err)
+	}
+	partB := particle.NewBuffer(0)
+	gb, _ := grid.New(4, 2, 2, 1, 1, 1, 4, 0, 0) // tile at x0=4
+	if _, err := Load(gb, gl, p, partB); err != nil {
+		t.Fatal(err)
+	}
+	if partA.N()+partB.N() != whole.N() {
+		t.Fatalf("split load has %d+%d particles, whole has %d", partA.N(), partB.N(), whole.N())
+	}
+	// Compare by global position and momentum. The whole-grid load lists
+	// cells in the same global order, with tile A's cells interleaved;
+	// match particle-by-particle through global positions.
+	type key struct{ x, y, z, ux float32 }
+	wholeSet := map[key]int{}
+	for _, q := range whole.P {
+		x, y, z := gw.Position(int(q.Voxel), q.Dx, q.Dy, q.Dz)
+		wholeSet[key{float32(x), float32(y), float32(z), q.Ux}]++
+	}
+	check := func(g *grid.Grid, b *particle.Buffer) {
+		for _, q := range b.P {
+			x, y, z := g.Position(int(q.Voxel), q.Dx, q.Dy, q.Dz)
+			k := key{float32(x), float32(y), float32(z), q.Ux}
+			if wholeSet[k] == 0 {
+				t.Fatalf("tile particle %+v missing from whole load", k)
+			}
+			wholeSet[k]--
+		}
+	}
+	check(ga, partA)
+	check(gb, partB)
+}
+
+func TestSlabProfile(t *testing.T) {
+	p := Slab(0.1, 10, 30, 5)
+	cases := []struct{ x, want float64 }{
+		{5, 0}, {10, 0}, {12.5, 0.05}, {15, 0.1}, {20, 0.1}, {27.5, 0.05}, {30, 0}, {35, 0},
+	}
+	for _, c := range cases {
+		if got := p(c.x, 0, 0); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Slab(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLoadSkipsVacuum(t *testing.T) {
+	g := grid.MustNew(10, 1, 1, 1, 1, 1)
+	gl := Global{NX: 10, NY: 1, NZ: 1}
+	buf := particle.NewBuffer(0)
+	// Plasma only in x ∈ [4, 6].
+	if _, err := Load(g, gl, Params{Profile: Slab(0.1, 4, 6, 0), PPC: 10, Nref: 0.1, Seed: 3}, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range buf.P {
+		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
+		if x < 4 || x > 6 {
+			t.Fatalf("particle at x=%g outside slab", x)
+		}
+	}
+	if buf.N() == 0 {
+		t.Fatal("slab loaded no particles")
+	}
+}
+
+func TestLoadNeutralizing(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	gl := Global{NX: 4, NY: 4, NZ: 4}
+	electrons := particle.NewBuffer(0)
+	if _, err := Load(g, gl, Params{Profile: Uniform(0.1), PPC: 8, Nref: 0.1, Seed: 4}, electrons); err != nil {
+		t.Fatal(err)
+	}
+	ions := particle.NewBuffer(0)
+	if err := LoadNeutralizing(electrons, 2, [3]float64{0.001, 0.001, 0.001}, 4, ions); err != nil {
+		t.Fatal(err)
+	}
+	if ions.N() != electrons.N() {
+		t.Fatalf("ion count %d != electron count %d", ions.N(), electrons.N())
+	}
+	for i := range ions.P {
+		e, ion := electrons.P[i], ions.P[i]
+		if e.Voxel != ion.Voxel || e.Dx != ion.Dx || e.Dy != ion.Dy || e.Dz != ion.Dz {
+			t.Fatal("ion not co-located with its electron")
+		}
+		if math.Abs(float64(ion.W-e.W/2)) > 1e-9 {
+			t.Fatalf("ion weight %g, want %g", ion.W, e.W/2)
+		}
+	}
+	if err := LoadNeutralizing(electrons, 0, [3]float64{}, 1, ions); err == nil {
+		t.Error("accepted z=0")
+	}
+}

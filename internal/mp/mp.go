@@ -1,0 +1,215 @@
+// Package mp is the in-process message-passing substrate that stands in
+// for MPI (and, on Roadrunner, the DaCS Opteron↔Cell relay): ranks are
+// goroutines, links are buffered channels, and the primitives are the
+// ones VPIC's communication layer uses — point-to-point send/receive,
+// barriers, and reductions.
+//
+// Semantics: messages on one (src,dst) link are delivered in order; Recv
+// blocks until a message from the requested source arrives and checks
+// that its tag matches the protocol's expectation (a mismatch means the
+// SPMD program lost lockstep, which is a bug, not a runtime condition —
+// it panics). Payloads are passed by reference; the sender must not
+// mutate a payload after sending, exactly like a zero-copy transport.
+package mp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight payload.
+type message struct {
+	tag  int
+	data any
+}
+
+// World owns the links of an n-rank communicator group.
+type World struct {
+	n     int
+	links [][]chan message // links[src][dst]
+
+	barrierMu  sync.Mutex
+	barrierCnt int
+	barrierGen int
+	barrierCv  *sync.Cond
+
+	reduceMu  sync.Mutex
+	reduceBuf []any
+	reduceCnt int
+	reduceGen int
+	reduceOut any
+	reduceCv  *sync.Cond
+}
+
+// linkDepth bounds the number of undelivered messages per (src,dst)
+// pair. The exchange protocols post at most a handful per phase; the
+// generous depth means senders never block in practice.
+const linkDepth = 64
+
+// NewWorld creates an n-rank world.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mp: world size %d", n))
+	}
+	w := &World{n: n, links: make([][]chan message, n), reduceBuf: make([]any, n)}
+	for s := range w.links {
+		w.links[s] = make([]chan message, n)
+		for d := range w.links[s] {
+			w.links[s][d] = make(chan message, linkDepth)
+		}
+	}
+	w.barrierCv = sync.NewCond(&w.barrierMu)
+	w.reduceCv = sync.NewCond(&w.reduceMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns rank's endpoint.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.n {
+		panic(fmt.Sprintf("mp: rank %d outside world of %d", rank, w.n))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Comm is one rank's communication endpoint.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.n }
+
+// Send delivers data to dst with the given tag. It blocks only if the
+// link is full (linkDepth undelivered messages).
+func (c *Comm) Send(dst, tag int, data any) {
+	c.w.links[c.rank][dst] <- message{tag: tag, data: data}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload. A tag mismatch panics: the SPMD protocol is deterministic and
+// a mismatch can only be a programming error.
+func (c *Comm) Recv(src, tag int) any {
+	m := <-c.w.links[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mp: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// SendRecv posts a send to dst and then receives from src — the
+// shift-exchange primitive of the ghost and particle exchanges. It is
+// deadlock-free for any permutation pattern as long as fewer than
+// linkDepth messages are outstanding per link.
+func (c *Comm) SendRecv(dst, sendTag int, data any, src, recvTag int) any {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until every rank of the world has entered it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.n {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierCv.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCv.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}
+
+// allreduce gathers one value per rank, applies reduce to the full set
+// once, and hands every rank the result.
+func (c *Comm) allreduce(x any, reduce func([]any) any) any {
+	w := c.w
+	w.reduceMu.Lock()
+	gen := w.reduceGen
+	w.reduceBuf[c.rank] = x
+	w.reduceCnt++
+	if w.reduceCnt == w.n {
+		w.reduceOut = reduce(w.reduceBuf)
+		w.reduceCnt = 0
+		w.reduceGen++
+		w.reduceCv.Broadcast()
+	} else {
+		for gen == w.reduceGen {
+			w.reduceCv.Wait()
+		}
+	}
+	out := w.reduceOut
+	w.reduceMu.Unlock()
+	return out
+}
+
+// AllreduceSum returns the sum of x over all ranks, on every rank.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	return c.allreduce(x, func(xs []any) any {
+		var s float64
+		for _, v := range xs {
+			s += v.(float64)
+		}
+		return s
+	}).(float64)
+}
+
+// AllreduceMax returns the maximum of x over all ranks, on every rank.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	return c.allreduce(x, func(xs []any) any {
+		m := xs[0].(float64)
+		for _, v := range xs[1:] {
+			if f := v.(float64); f > m {
+				m = f
+			}
+		}
+		return m
+	}).(float64)
+}
+
+// AllreduceSumInt returns the integer sum of x over all ranks.
+func (c *Comm) AllreduceSumInt(x int64) int64 {
+	return c.allreduce(x, func(xs []any) any {
+		var s int64
+		for _, v := range xs {
+			s += v.(int64)
+		}
+		return s
+	}).(int64)
+}
+
+// Run executes fn concurrently on every rank of a fresh world and
+// returns after all ranks finish. The first panic (if any) is re-raised.
+func Run(nRanks int, fn func(c *Comm)) {
+	w := NewWorld(nRanks)
+	var wg sync.WaitGroup
+	panics := make(chan any, nRanks)
+	for r := 0; r < nRanks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}

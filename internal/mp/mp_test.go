@@ -1,0 +1,159 @@
+package mp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPointToPoint(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []int{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7).([]int)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("bad payload %v", got)
+			}
+		}
+	})
+}
+
+func TestMessagesInOrder(t *testing.T) {
+	Run(2, func(c *Comm) {
+		const n = 50
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, i, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := c.Recv(0, i).(int); got != i {
+					t.Errorf("message %d out of order: %d", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tag mismatch did not panic")
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil)
+		} else {
+			c.Recv(0, 2)
+		}
+	})
+}
+
+func TestRingSendRecv(t *testing.T) {
+	const n = 8
+	Run(n, func(c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		got := c.SendRecv(right, 0, c.Rank(), left, 0).(int)
+		if got != left {
+			t.Errorf("rank %d received %d, want %d", c.Rank(), got, left)
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 6
+	var before, after int64
+	Run(n, func(c *Comm) {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&before) != n {
+			t.Errorf("rank %d passed barrier before all entered", c.Rank())
+		}
+		atomic.AddInt64(&after, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&after) != n {
+			t.Errorf("rank %d passed second barrier early", c.Rank())
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	Run(4, func(c *Comm) {
+		for i := 0; i < 100; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const n = 5
+	Run(n, func(c *Comm) {
+		got := c.AllreduceSum(float64(c.Rank() + 1))
+		if got != 15 {
+			t.Errorf("rank %d: sum = %g, want 15", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllreduceMax(t *testing.T) {
+	Run(7, func(c *Comm) {
+		got := c.AllreduceMax(float64(c.Rank() * c.Rank()))
+		if got != 36 {
+			t.Errorf("max = %g, want 36", got)
+		}
+	})
+}
+
+func TestAllreduceSumInt(t *testing.T) {
+	Run(4, func(c *Comm) {
+		if got := c.AllreduceSumInt(int64(c.Rank())); got != 6 {
+			t.Errorf("int sum = %d, want 6", got)
+		}
+	})
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	Run(3, func(c *Comm) {
+		for i := 1; i <= 50; i++ {
+			want := float64(3 * i)
+			if got := c.AllreduceSum(float64(i)); got != want {
+				t.Errorf("round %d: %g, want %g", i, got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	Run(1, func(c *Comm) {
+		c.Barrier()
+		if got := c.AllreduceSum(3.5); got != 3.5 {
+			t.Errorf("self allreduce = %g", got)
+		}
+		got := c.SendRecv(0, 0, "x", 0, 0).(string)
+		if got != "x" {
+			t.Errorf("self sendrecv = %q", got)
+		}
+	})
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestCommRankValidation(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank did not panic")
+		}
+	}()
+	w.Comm(2)
+}

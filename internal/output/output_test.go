@@ -1,0 +1,77 @@
+package output
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSummaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := Summary{
+		Deck: "lpi", Steps: 100, Time: 22.4, Particles: 30720, Ranks: 2,
+		WallClock: 3.5,
+		Rates:     map[string]float64{"Mpart/s": 5.1},
+		Energy:    map[string]float64{"total": 0.02},
+		Notes:     map[string]float64{"kld": 0.33},
+	}
+	if err := WriteSummary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deck != "lpi" || got.Steps != 100 || got.Rates["Mpart/s"] != 5.1 || got.Notes["kld"] != 0.33 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Written.IsZero() {
+		t.Fatal("timestamp not set")
+	}
+}
+
+func TestSnapshotsRoundTrip(t *testing.T) {
+	a := Snapshot{Name: "ex", NX: 4, NY: 3, NZ: 2, Data: make([]float32, 24)}
+	for i := range a.Data {
+		a.Data[i] = float32(i) * 0.5
+	}
+	b := Snapshot{Name: "rho", NX: 2, NY: 2, NZ: 2, Data: []float32{1, 2, 3, 4, 5, 6, 7, 8}}
+	var buf bytes.Buffer
+	if err := WriteSnapshots(&buf, []Snapshot{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("count %d", len(got))
+	}
+	if got[0].Name != "ex" || got[0].NX != 4 || got[0].Data[10] != 5 {
+		t.Fatalf("snapshot 0 corrupted: %+v", got[0].Name)
+	}
+	if got[1].Name != "rho" || got[1].Data[7] != 8 {
+		t.Fatal("snapshot 1 corrupted")
+	}
+}
+
+func TestWriteSnapshotsValidatesShape(t *testing.T) {
+	bad := Snapshot{Name: "x", NX: 2, NY: 2, NZ: 2, Data: make([]float32, 7)}
+	if err := WriteSnapshots(&bytes.Buffer{}, []Snapshot{bad}); err == nil {
+		t.Fatal("accepted mismatched shape")
+	}
+}
+
+func TestReadSnapshotsRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshots(bytes.NewReader([]byte("not a snapshot file......"))); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	// Truncated valid header.
+	var buf bytes.Buffer
+	if err := WriteSnapshots(&buf, []Snapshot{{Name: "a", NX: 1, NY: 1, NZ: 1, Data: []float32{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadSnapshots(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated container")
+	}
+}

@@ -1,0 +1,85 @@
+// Package particle defines the particle storage used by the kernels.
+//
+// The layout mirrors VPIC's 32-byte particle: positions are stored as
+// the index of the voxel (cell) containing the particle plus offsets
+// (Dx,Dy,Dz) ∈ [-1,1] within the cell (−1 at the cell's low face, +1 at
+// the high face), and momenta as u = γv/c in units of c. This cell-local
+// representation is what makes the single-precision inner loop accurate:
+// offsets carry full float32 resolution regardless of where in a large
+// domain the particle sits, and the deposition/interpolation kernels
+// never form a global coordinate.
+package particle
+
+import "math"
+
+// Particle is one macro-particle.
+type Particle struct {
+	Dx, Dy, Dz float32 // cell-local offsets in [-1, 1]
+	Voxel      int32   // flat index of the containing cell
+	Ux, Uy, Uz float32 // normalized momentum γv/c
+	W          float32 // statistical weight (physical particles represented)
+}
+
+// Mover records a particle whose step crosses at least one cell face and
+// therefore must be finished by the boundary-aware move machinery:
+// DispX/Y/Z hold the *remaining* displacement in cell-offset units.
+type Mover struct {
+	DispX, DispY, DispZ float32
+	Idx                 int32 // index into the owning particle slice
+}
+
+// Buffer is a growable particle array with O(1) removal.
+type Buffer struct {
+	P []Particle
+}
+
+// NewBuffer returns a Buffer with the given capacity pre-allocated.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{P: make([]Particle, 0, capacity)}
+}
+
+// N returns the number of stored particles.
+func (b *Buffer) N() int { return len(b.P) }
+
+// Append adds a particle.
+func (b *Buffer) Append(p Particle) { b.P = append(b.P, p) }
+
+// RemoveSwap removes particle i by swapping the last particle into its
+// slot; order is not preserved (the periodic sort restores locality).
+func (b *Buffer) RemoveSwap(i int) {
+	last := len(b.P) - 1
+	b.P[i] = b.P[last]
+	b.P = b.P[:last]
+}
+
+// Clear removes all particles, keeping capacity.
+func (b *Buffer) Clear() { b.P = b.P[:0] }
+
+// KineticEnergy returns Σ w·m·(γ−1) in code units (me·c² per unit
+// weight) accumulated in double precision; m is the species mass in
+// electron masses.
+func (b *Buffer) KineticEnergy(mass float64) float64 {
+	var s float64
+	for i := range b.P {
+		p := &b.P[i]
+		u2 := float64(p.Ux)*float64(p.Ux) + float64(p.Uy)*float64(p.Uy) + float64(p.Uz)*float64(p.Uz)
+		// γ−1 computed as u²/(γ+1) to avoid cancellation for cold particles.
+		g := sqrt64(1 + u2)
+		s += float64(p.W) * (u2 / (g + 1))
+	}
+	return mass * s
+}
+
+// Momentum returns Σ w·m·u (code units) accumulated in double precision.
+func (b *Buffer) Momentum(mass float64) (px, py, pz float64) {
+	for i := range b.P {
+		p := &b.P[i]
+		w := float64(p.W)
+		px += w * float64(p.Ux)
+		py += w * float64(p.Uy)
+		pz += w * float64(p.Uz)
+	}
+	return px * mass, py * mass, pz * mass
+}
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }

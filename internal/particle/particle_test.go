@@ -1,0 +1,105 @@
+package particle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestParticleIs32Bytes(t *testing.T) {
+	// The 32-byte particle is a design invariant of the VPIC layout
+	// (two 16-byte halves: position+voxel, momentum+weight).
+	if s := unsafe.Sizeof(Particle{}); s != 32 {
+		t.Fatalf("Particle is %d bytes, want 32", s)
+	}
+}
+
+func TestBufferAppendRemove(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 5; i++ {
+		b.Append(Particle{Voxel: int32(i), W: 1})
+	}
+	if b.N() != 5 {
+		t.Fatalf("N = %d", b.N())
+	}
+	b.RemoveSwap(1) // last (voxel 4) swaps into slot 1
+	if b.N() != 4 {
+		t.Fatalf("N after remove = %d", b.N())
+	}
+	if b.P[1].Voxel != 4 {
+		t.Fatalf("swap-remove put voxel %d in slot 1, want 4", b.P[1].Voxel)
+	}
+	b.Clear()
+	if b.N() != 0 || cap(b.P) == 0 {
+		t.Fatal("Clear must empty but keep capacity")
+	}
+}
+
+func TestKineticEnergyColdParticle(t *testing.T) {
+	b := NewBuffer(1)
+	b.Append(Particle{W: 3}) // at rest: zero KE
+	if ke := b.KineticEnergy(1); ke != 0 {
+		t.Fatalf("KE of particle at rest = %g", ke)
+	}
+}
+
+func TestKineticEnergyRelativistic(t *testing.T) {
+	b := NewBuffer(1)
+	u := 2.0
+	b.Append(Particle{Ux: float32(u), W: 1})
+	want := math.Sqrt(1+u*u) - 1
+	if ke := b.KineticEnergy(1); math.Abs(ke-want) > 1e-7 {
+		t.Fatalf("KE = %g, want %g", ke, want)
+	}
+	// Mass scales linearly.
+	if ke := b.KineticEnergy(1836); math.Abs(ke-1836*want) > 1e-3 {
+		t.Fatalf("ion KE = %g, want %g", ke, 1836*want)
+	}
+}
+
+func TestKineticEnergyNoCancellation(t *testing.T) {
+	// γ−1 via u²/(γ+1) must stay accurate for very cold particles where
+	// sqrt(1+u²)−1 would lose all precision.
+	b := NewBuffer(1)
+	u := 1e-4
+	b.Append(Particle{Uz: float32(u), W: 1})
+	want := u * u / 2
+	if ke := b.KineticEnergy(1); math.Abs(ke-want)/want > 1e-5 {
+		t.Fatalf("cold KE = %g, want %g", ke, want)
+	}
+}
+
+func TestMomentum(t *testing.T) {
+	b := NewBuffer(2)
+	b.Append(Particle{Ux: 1, Uy: -2, Uz: 0.5, W: 2})
+	b.Append(Particle{Ux: -1, Uy: 2, Uz: -0.5, W: 2})
+	px, py, pz := b.Momentum(1)
+	if px != 0 || py != 0 || pz != 0 {
+		t.Fatalf("net momentum (%g,%g,%g), want 0", px, py, pz)
+	}
+	b2 := NewBuffer(1)
+	b2.Append(Particle{Ux: 0.5, W: 4})
+	px, _, _ = b2.Momentum(2)
+	if math.Abs(px-4) > 1e-9 {
+		t.Fatalf("px = %g, want 4", px)
+	}
+}
+
+func TestKineticEnergyAdditive(t *testing.T) {
+	f := func(u1, u2 float64) bool {
+		u1 = math.Mod(math.Abs(u1), 3)
+		u2 = math.Mod(math.Abs(u2), 3)
+		a := NewBuffer(1)
+		a.Append(Particle{Ux: float32(u1), W: 1})
+		b := NewBuffer(1)
+		b.Append(Particle{Ux: float32(u2), W: 1})
+		both := NewBuffer(2)
+		both.Append(Particle{Ux: float32(u1), W: 1})
+		both.Append(Particle{Ux: float32(u2), W: 1})
+		return math.Abs(both.KineticEnergy(1)-a.KineticEnergy(1)-b.KineticEnergy(1)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

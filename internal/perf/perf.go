@@ -1,0 +1,128 @@
+// Package perf provides the wall-clock kernel breakdown and rate
+// accounting used to reproduce the paper's performance reporting: which
+// fraction of a step is spent in the particle inner loop versus sort,
+// field solve, communication and diagnostics, and what flop rate the
+// inner loop sustains.
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Section labels one timed kernel, matching the breakdown VPIC reports.
+type Section int
+
+const (
+	Push  Section = iota // particle advance + current scatter (the inner loop)
+	Sort                 // periodic particle counting sort
+	Field                // Maxwell solve + divergence cleaning
+	Comm                 // ghost/current/particle exchange
+	Diag                 // diagnostics and I/O
+	NumSections
+)
+
+func (s Section) String() string {
+	switch s {
+	case Push:
+		return "push"
+	case Sort:
+		return "sort"
+	case Field:
+		return "field"
+	case Comm:
+		return "comm"
+	case Diag:
+		return "diag"
+	}
+	return fmt.Sprintf("Section(%d)", int(s))
+}
+
+// Breakdown accumulates wall time per section. It is not safe for
+// concurrent use; each rank owns one.
+type Breakdown struct {
+	accum   [NumSections]time.Duration
+	started [NumSections]time.Time
+	running [NumSections]bool
+}
+
+// Start begins timing a section.
+func (b *Breakdown) Start(s Section) {
+	b.started[s] = time.Now()
+	b.running[s] = true
+}
+
+// Stop ends timing a section, accumulating the elapsed time.
+func (b *Breakdown) Stop(s Section) {
+	if !b.running[s] {
+		return
+	}
+	b.accum[s] += time.Since(b.started[s])
+	b.running[s] = false
+}
+
+// Time runs fn inside Start/Stop of the section.
+func (b *Breakdown) Time(s Section, fn func()) {
+	b.Start(s)
+	fn()
+	b.Stop(s)
+}
+
+// Elapsed returns the accumulated time of a section.
+func (b *Breakdown) Elapsed(s Section) time.Duration { return b.accum[s] }
+
+// Total returns the sum over all sections.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.accum {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns the section's share of the total (0 when nothing has
+// been timed).
+func (b *Breakdown) Fraction(s Section) float64 {
+	tot := b.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(b.accum[s]) / float64(tot)
+}
+
+// Reset zeroes all accumulators.
+func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// Merge adds another breakdown's accumulators into this one (for
+// cross-rank aggregation).
+func (b *Breakdown) Merge(o *Breakdown) {
+	for s := Section(0); s < NumSections; s++ {
+		b.accum[s] += o.accum[s]
+	}
+}
+
+// Report formats the breakdown as aligned text rows.
+func (b *Breakdown) Report() string {
+	var sb strings.Builder
+	tot := b.Total()
+	fmt.Fprintf(&sb, "%-8s %12s %8s\n", "section", "time", "share")
+	for s := Section(0); s < NumSections; s++ {
+		fmt.Fprintf(&sb, "%-8s %12v %7.1f%%\n", s, b.accum[s].Round(time.Microsecond), 100*b.Fraction(s))
+	}
+	fmt.Fprintf(&sb, "%-8s %12v\n", "total", tot.Round(time.Microsecond))
+	return sb.String()
+}
+
+// Rate converts an operation count over a duration into ops/second.
+func Rate(ops int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+// GFlops converts a flop count over a duration into Gflop/s.
+func GFlops(flops int64, d time.Duration) float64 {
+	return Rate(flops, d) / 1e9
+}

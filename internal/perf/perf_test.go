@@ -1,0 +1,102 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	var b Breakdown
+	b.Start(Push)
+	time.Sleep(2 * time.Millisecond)
+	b.Stop(Push)
+	if b.Elapsed(Push) < time.Millisecond {
+		t.Fatalf("push elapsed %v", b.Elapsed(Push))
+	}
+	if b.Elapsed(Sort) != 0 {
+		t.Fatal("untouched section nonzero")
+	}
+}
+
+func TestStopWithoutStartIsNoop(t *testing.T) {
+	var b Breakdown
+	b.Stop(Field) // must not panic or accumulate
+	if b.Elapsed(Field) != 0 {
+		t.Fatal("Stop without Start accumulated time")
+	}
+}
+
+func TestTimeHelper(t *testing.T) {
+	var b Breakdown
+	b.Time(Comm, func() { time.Sleep(time.Millisecond) })
+	if b.Elapsed(Comm) < 500*time.Microsecond {
+		t.Fatal("Time did not accumulate")
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	var b Breakdown
+	b.Time(Push, func() { time.Sleep(2 * time.Millisecond) })
+	b.Time(Field, func() { time.Sleep(time.Millisecond) })
+	var sum float64
+	for s := Section(0); s < NumSections; s++ {
+		sum += b.Fraction(s)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %g", sum)
+	}
+	if b.Fraction(Push) <= b.Fraction(Field) {
+		t.Fatal("push should dominate")
+	}
+}
+
+func TestFractionEmpty(t *testing.T) {
+	var b Breakdown
+	if b.Fraction(Push) != 0 {
+		t.Fatal("empty breakdown has nonzero fraction")
+	}
+}
+
+func TestResetAndMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Time(Push, func() { time.Sleep(time.Millisecond) })
+	b.Time(Push, func() { time.Sleep(time.Millisecond) })
+	a.Merge(&b)
+	if a.Elapsed(Push) < 2*time.Millisecond {
+		t.Fatal("merge did not add")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("reset left time")
+	}
+}
+
+func TestReportContainsSections(t *testing.T) {
+	var b Breakdown
+	b.Time(Sort, func() {})
+	r := b.Report()
+	for _, name := range []string{"push", "sort", "field", "comm", "diag", "total"} {
+		if !strings.Contains(r, name) {
+			t.Fatalf("report missing %q:\n%s", name, r)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	if got := Rate(1000, time.Second); got != 1000 {
+		t.Fatalf("Rate = %g", got)
+	}
+	if got := GFlops(2e9, time.Second); got != 2 {
+		t.Fatalf("GFlops = %g", got)
+	}
+	if Rate(5, 0) != 0 {
+		t.Fatal("zero duration must give zero rate")
+	}
+}
+
+func TestSectionStrings(t *testing.T) {
+	if Push.String() != "push" || Diag.String() != "diag" {
+		t.Fatal("section names wrong")
+	}
+}

@@ -1,0 +1,96 @@
+package push
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"govpic/internal/particle"
+)
+
+// TestScatterWeightClosure verifies the Villasenor-Buneman weight
+// identity: the four accumulated JX slots of any in-cell segment sum to
+// exactly 4·q·w·hx (the v5 corrections cancel pairwise), and likewise
+// for JY/JZ — the algebraic backbone of charge conservation.
+func TestScatterWeightClosure(t *testing.T) {
+	r := newRig(3, 3, 3, 1)
+	k := r.kernel(-1, 1, 0.1)
+	f := func(w, dx, dy, dz, ddx, ddy, ddz float64) bool {
+		clampOff := func(v float64) float32 { return float32(math.Mod(v, 0.9)) }
+		clampDisp := func(v float64) float32 { return float32(math.Mod(v, 0.09)) }
+		W := float32(math.Abs(math.Mod(w, 10)) + 0.1)
+		DX, DY, DZ := clampOff(dx), clampOff(dy), clampOff(dz)
+		DDX, DDY, DDZ := clampDisp(ddx), clampDisp(ddy), clampDisp(ddz)
+		v := r.g.Voxel(2, 2, 2)
+		r.acc.Clear()
+		k.scatter(v, W, DX, DY, DZ, DDX, DDY, DDZ)
+		a := r.acc.A[v]
+		sumX := float64(a.JX[0]) + float64(a.JX[1]) + float64(a.JX[2]) + float64(a.JX[3])
+		sumY := float64(a.JY[0]) + float64(a.JY[1]) + float64(a.JY[2]) + float64(a.JY[3])
+		sumZ := float64(a.JZ[0]) + float64(a.JZ[1]) + float64(a.JZ[2]) + float64(a.JZ[3])
+		q := -1.0
+		wantX := 4 * q * float64(W) * 0.5 * float64(DDX)
+		wantY := 4 * q * float64(W) * 0.5 * float64(DDY)
+		wantZ := 4 * q * float64(W) * 0.5 * float64(DDZ)
+		tol := 1e-5 * (1 + math.Abs(wantX) + math.Abs(wantY) + math.Abs(wantZ))
+		return math.Abs(sumX-wantX) < tol && math.Abs(sumY-wantY) < tol && math.Abs(sumZ-wantZ) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPushZeroFieldIsBallistic: with no fields, momentum is untouched
+// and the displacement matches u/γ·(2dt/d) in offset units.
+func TestPushZeroFieldIsBallistic(t *testing.T) {
+	f := func(ux, uy, uz float64) bool {
+		r := newRig(8, 8, 8, 1)
+		r.ip.Load(r.f)
+		dt := 0.2
+		k := r.kernel(-1, 1, dt)
+		UX := float32(math.Mod(ux, 2))
+		UY := float32(math.Mod(uy, 2))
+		UZ := float32(math.Mod(uz, 2))
+		r.buf.Append(particle.Particle{Voxel: int32(r.g.Voxel(4, 4, 4)), Ux: UX, Uy: UY, Uz: UZ, W: 1})
+		r.acc.Clear()
+		k.AdvanceP(r.buf)
+		p := r.buf.P[0]
+		if p.Ux != UX || p.Uy != UY || p.Uz != UZ {
+			return false
+		}
+		gi := 1 / math.Sqrt(1+float64(UX)*float64(UX)+float64(UY)*float64(UY)+float64(UZ)*float64(UZ))
+		wantDx := float64(UX) * gi * 2 * dt / 1.0
+		// The particle started at offset 0; tolerate the cell-crossing
+		// case by reconstructing the global displacement.
+		x1, _, _ := r.g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
+		x0, _, _ := r.g.Position(r.g.Voxel(4, 4, 4), 0, 0, 0)
+		return math.Abs((x1-x0)-wantDx/2) < 1e-5 // offsets are 2/cell
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnergyKickMatchesWork: in a uniform E with no B, the kinetic
+// energy change over one step equals q·E·Δx to second order.
+func TestEnergyKickMatchesWork(t *testing.T) {
+	r := newRig(8, 4, 4, 1)
+	e0 := 0.002
+	for i := range r.f.Ex {
+		r.f.Ex[i] = float32(e0)
+	}
+	r.ip.Load(r.f)
+	dt := 0.1
+	k := r.kernel(-1, 1, dt)
+	r.buf.Append(particle.Particle{Voxel: int32(r.g.Voxel(4, 2, 2)), Ux: 0.3, W: 1})
+	ke0 := r.buf.KineticEnergy(1)
+	x0, _, _ := r.g.Position(int(r.buf.P[0].Voxel), r.buf.P[0].Dx, 0, 0)
+	r.acc.Clear()
+	k.AdvanceP(r.buf)
+	ke1 := r.buf.KineticEnergy(1)
+	x1, _, _ := r.g.Position(int(r.buf.P[0].Voxel), r.buf.P[0].Dx, 0, 0)
+	work := -1 * e0 * (x1 - x0) // q = −1
+	if math.Abs((ke1-ke0)-work) > 1e-3*math.Abs(work) {
+		t.Fatalf("ΔKE = %g, work = %g", ke1-ke0, work)
+	}
+}

@@ -1,0 +1,39 @@
+package push
+
+import (
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+)
+
+// DepositRho adds the trilinear node charge density of buf's particles
+// (species charge q in e units) into rho, which is indexed like every
+// other per-voxel array and must be at least g.NV() long. The weighting
+// is the one whose discrete continuity the current scatter conserves:
+// node (i+a, j+b, k+c) of cell (i,j,k) receives
+//
+//	q·w·(1+sa·dx)(1+sb·dy)(1+sc·dz) / (8·Vc)
+//
+// with s = −1 for the low node (a=0) and +1 for the high node. Periodic
+// identification of the boundary node planes (index N+1 with 1) is the
+// caller's job (field.Fields.FoldNodeScalar or the domain exchange).
+func DepositRho(g *grid.Grid, buf *particle.Buffer, q float64, rho []float32) {
+	sx, sy, _ := g.Strides()
+	sxy := sx * sy
+	c := float32(q / (8 * g.Volume()))
+	for i := range buf.P {
+		p := &buf.P[i]
+		v := int(p.Voxel)
+		qw := c * p.W
+		lx, hx := 1-p.Dx, 1+p.Dx
+		ly, hy := 1-p.Dy, 1+p.Dy
+		lz, hz := 1-p.Dz, 1+p.Dz
+		rho[v] += qw * lx * ly * lz
+		rho[v+1] += qw * hx * ly * lz
+		rho[v+sx] += qw * lx * hy * lz
+		rho[v+sx+1] += qw * hx * hy * lz
+		rho[v+sxy] += qw * lx * ly * hz
+		rho[v+sxy+1] += qw * hx * ly * hz
+		rho[v+sxy+sx] += qw * lx * hy * hz
+		rho[v+sxy+sx+1] += qw * hx * hy * hz
+	}
+}

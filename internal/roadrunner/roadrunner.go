@@ -1,0 +1,166 @@
+// Package roadrunner models the machine the paper ran on — the
+// heterogeneous IBM Roadrunner at LANL — and extrapolates our measured
+// kernel characteristics to its scale. This is the substitution for the
+// hardware gate: we cannot run on Cell SPEs, but the paper's own
+// performance analysis (Barker & Kerbyson's model) is an analytic model
+// of exactly this shape, and the quantities it consumes — flops per
+// particle, inner-loop efficiency, outer-loop fraction, communication
+// surface — are things this reproduction measures directly.
+//
+// Calibration (documented in DESIGN.md/EXPERIMENTS.md): the inner-loop
+// SPE efficiency and the outer-loop fraction are fixed so that the full
+// 3060-triblade machine reproduces the paper's headline 0.488 Pflop/s
+// inner-loop and 0.374 Pflop/s sustained rates; every *other* point on
+// the scaling curves, the particle rates, and the time-per-step are then
+// model predictions.
+package roadrunner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Machine describes a Roadrunner-like configuration.
+type Machine struct {
+	Triblades        int     // compute nodes ("triblades")
+	CellsPerTriblade int     // PowerXCell 8i chips per triblade
+	SPEsPerCell      int     // synergistic processing elements per Cell
+	SPEPeakSP        float64 // single-precision peak per SPE, flop/s
+}
+
+// Full returns the full Roadrunner configuration of the paper's run:
+// 3060 triblades × 4 Cells × 8 SPEs × 25.6 Gflop/s = 2.507 Pflop/s
+// single-precision Cell-side peak.
+func Full() Machine {
+	return Machine{Triblades: 3060, CellsPerTriblade: 4, SPEsPerCell: 8, SPEPeakSP: 25.6e9}
+}
+
+// PeakSP returns the single-precision Cell-side peak of n triblades in
+// flop/s.
+func (m Machine) PeakSP(nTriblades int) float64 {
+	return float64(nTriblades*m.CellsPerTriblade*m.SPEsPerCell) * m.SPEPeakSP
+}
+
+// Model extrapolates kernel measurements to the machine.
+type Model struct {
+	Machine
+
+	// FlopsPerParticle is the inner loop's arithmetic per particle per
+	// step (this codebase's audited count, push.FlopsPerPush).
+	FlopsPerParticle float64
+	// BytesPerParticle is the inner loop's data motion per particle per
+	// step (push.BytesPerPush) — the paper's data-motion argument.
+	BytesPerParticle float64
+	// InnerEfficiency is the fraction of SP peak the particle loop
+	// sustains on the SPEs. Calibrated: 0.488 Pflop/s / 2.507 Pflop/s.
+	InnerEfficiency float64
+	// OuterFraction is the extra step time outside the inner loop
+	// (field solve, sort, boundary handling) as a fraction of inner
+	// time, excluding scale-dependent communication.
+	OuterFraction float64
+	// CommLogCoeff models the scale-dependent communication (allreduces,
+	// deeper exchange trees) as CommLogCoeff·log2(n) extra fractional
+	// time.
+	CommLogCoeff float64
+}
+
+// Default returns the model calibrated against the paper's headline
+// numbers (see package comment).
+func Default(flopsPerParticle, bytesPerParticle float64) Model {
+	m := Model{
+		Machine:          Full(),
+		FlopsPerParticle: flopsPerParticle,
+		BytesPerParticle: bytesPerParticle,
+		InnerEfficiency:  0.488e15 / Full().PeakSP(3060),
+	}
+	// Sustained/inner = 0.374/0.488 at n = 3060:
+	// 1/(1 + outer + commLog·log2(3060)) = 0.7664.
+	// Split the 0.3048 total overhead into a scale-independent part and
+	// a slowly growing communication part (VPIC's weak scaling was
+	// near-ideal, so the log term is small).
+	m.OuterFraction = 0.28
+	m.CommLogCoeff = (0.488/0.374 - 1 - m.OuterFraction) / math.Log2(3060)
+	return m
+}
+
+// InnerPflops returns the modeled inner-loop rate on n triblades, in
+// Pflop/s.
+func (m Model) InnerPflops(n int) float64 {
+	return m.PeakSP(n) * m.InnerEfficiency / 1e15
+}
+
+// SustainedPflops returns the modeled whole-code sustained rate on n
+// triblades, in Pflop/s.
+func (m Model) SustainedPflops(n int) float64 {
+	return m.InnerPflops(n) * m.StepEfficiency(n)
+}
+
+// StepEfficiency returns sustained/inner at scale n: the fraction of
+// step time spent in the inner loop.
+func (m Model) StepEfficiency(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return 1 / (1 + m.OuterFraction + m.CommLogCoeff*math.Log2(float64(n)))
+}
+
+// ParticleRate returns the modeled particles advanced per second on n
+// triblades.
+func (m Model) ParticleRate(n int) float64 {
+	return m.InnerPflops(n) * 1e15 / m.FlopsPerParticle
+}
+
+// StepTime returns the modeled wall-clock seconds per step for the
+// given global particle count on n triblades.
+func (m Model) StepTime(particles float64, n int) float64 {
+	return particles / m.ParticleRate(n) / m.StepEfficiency(n)
+}
+
+// ArithmeticIntensity returns the inner loop's flops per byte of data
+// motion — the quantity whose smallness (order 1, versus order 10-100
+// for dense linear algebra) makes a PIC Pflop/s measurement notable.
+func (m Model) ArithmeticIntensity() float64 {
+	return m.FlopsPerParticle / m.BytesPerParticle
+}
+
+// Row is one line of the scaling table.
+type Row struct {
+	Triblades     int
+	PeakPF        float64
+	InnerPF       float64
+	SustainedPF   float64
+	PctPeak       float64
+	ParticleRate  float64 // particles/s
+	TrillionStepS float64 // seconds per step at 10^12 particles
+}
+
+// ScalingTable evaluates the model at the given triblade counts.
+func (m Model) ScalingTable(counts []int) []Row {
+	rows := make([]Row, len(counts))
+	for i, n := range counts {
+		s := m.SustainedPflops(n)
+		rows[i] = Row{
+			Triblades:     n,
+			PeakPF:        m.PeakSP(n) / 1e15,
+			InnerPF:       m.InnerPflops(n),
+			SustainedPF:   s,
+			PctPeak:       100 * s * 1e15 / m.PeakSP(n),
+			ParticleRate:  m.ParticleRate(n),
+			TrillionStepS: m.StepTime(1e12, n),
+		}
+	}
+	return rows
+}
+
+// FormatTable renders rows as aligned text.
+func FormatTable(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%9s %9s %9s %12s %8s %14s %12s\n",
+		"triblades", "peak PF", "inner PF", "sustained PF", "% peak", "particles/s", "s/step@1e12")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%9d %9.3f %9.3f %12.3f %8.2f %14.3e %12.3f\n",
+			r.Triblades, r.PeakPF, r.InnerPF, r.SustainedPF, r.PctPeak, r.ParticleRate, r.TrillionStepS)
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package roadrunner
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func defaultModel() Model { return Default(163, 232) }
+
+func TestFullMachinePeak(t *testing.T) {
+	m := Full()
+	// 3060 × 4 × 8 × 25.6 GF = 2.5066 PF s.p.
+	got := m.PeakSP(3060)
+	if math.Abs(got-2.5066e15)/2.5066e15 > 1e-3 {
+		t.Fatalf("full peak = %g", got)
+	}
+}
+
+// TestPaperHeadlineNumbers: the calibration must reproduce the abstract's
+// 0.488 Pflop/s inner loop and 0.374 Pflop/s sustained at 3060 triblades.
+func TestPaperHeadlineNumbers(t *testing.T) {
+	m := defaultModel()
+	if got := m.InnerPflops(3060); math.Abs(got-0.488) > 0.001 {
+		t.Fatalf("inner loop = %g Pflop/s, want 0.488", got)
+	}
+	if got := m.SustainedPflops(3060); math.Abs(got-0.374) > 0.001 {
+		t.Fatalf("sustained = %g Pflop/s, want 0.374", got)
+	}
+	// Sustained is ~14.9% of s.p. peak.
+	pct := 100 * m.SustainedPflops(3060) * 1e15 / m.PeakSP(3060)
+	if math.Abs(pct-14.9) > 0.3 {
+		t.Fatalf("%% of peak = %g, want ≈14.9", pct)
+	}
+}
+
+func TestScalingNearlyIdeal(t *testing.T) {
+	m := defaultModel()
+	// Weak-scaling efficiency from 180 to 3060 triblades must stay above
+	// 95% (the paper reports near-ideal scaling).
+	perNode180 := m.SustainedPflops(180) / 180
+	perNode3060 := m.SustainedPflops(3060) / 3060
+	eff := perNode3060 / perNode180
+	if eff < 0.95 || eff > 1 {
+		t.Fatalf("weak scaling efficiency 180→3060 = %g", eff)
+	}
+}
+
+func TestSustainedMonotone(t *testing.T) {
+	m := defaultModel()
+	prev := 0.0
+	for _, n := range []int{1, 10, 100, 1000, 3060} {
+		s := m.SustainedPflops(n)
+		if s <= prev {
+			t.Fatalf("sustained not monotone at n=%d", n)
+		}
+		prev = s
+	}
+}
+
+func TestStepTimeTrillion(t *testing.T) {
+	m := defaultModel()
+	// 10^12 particles at the modeled rate: sanity band 0.1–5 s/step.
+	dt := m.StepTime(1e12, 3060)
+	if dt < 0.1 || dt > 5 {
+		t.Fatalf("step time for 10^12 particles = %g s", dt)
+	}
+	// Twice the particles, twice the time.
+	if math.Abs(m.StepTime(2e12, 3060)-2*dt) > 1e-9 {
+		t.Fatal("step time not linear in particles")
+	}
+}
+
+func TestArithmeticIntensityIsLow(t *testing.T) {
+	m := defaultModel()
+	ai := m.ArithmeticIntensity()
+	// The paper's data-motion argument: PIC is order-1 flops/byte,
+	// far below dense linear algebra.
+	if ai < 0.2 || ai > 3 {
+		t.Fatalf("arithmetic intensity = %g flops/byte, expected O(1)", ai)
+	}
+}
+
+func TestScalingTableAndFormat(t *testing.T) {
+	m := defaultModel()
+	rows := m.ScalingTable([]int{180, 3060})
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	if rows[1].Triblades != 3060 || rows[1].SustainedPF <= rows[0].SustainedPF {
+		t.Fatal("table rows wrong")
+	}
+	if rows[1].ParticleRate <= 0 || rows[1].TrillionStepS <= 0 {
+		t.Fatal("derived columns missing")
+	}
+	txt := FormatTable(rows)
+	if !strings.Contains(txt, "3060") || !strings.Contains(txt, "sustained") {
+		t.Fatalf("formatted table missing content:\n%s", txt)
+	}
+}
+
+func TestStepEfficiencyBounds(t *testing.T) {
+	m := defaultModel()
+	for _, n := range []int{1, 64, 3060} {
+		e := m.StepEfficiency(n)
+		if e <= 0 || e >= 1 {
+			t.Fatalf("step efficiency %g at n=%d", e, n)
+		}
+	}
+	if m.StepEfficiency(0) != 0 {
+		t.Fatal("n=0 efficiency must be 0")
+	}
+}

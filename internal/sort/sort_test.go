@@ -1,0 +1,123 @@
+package sort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"govpic/internal/particle"
+	"govpic/internal/rng"
+)
+
+func randomBuffer(n, nv int, seed uint64) *particle.Buffer {
+	src := rng.New(seed, 0)
+	b := particle.NewBuffer(n)
+	for i := 0; i < n; i++ {
+		b.Append(particle.Particle{
+			Voxel: int32(src.Intn(nv)),
+			W:     float32(i), // tag to check stability/permutation
+		})
+	}
+	return b
+}
+
+func TestSortsByVoxel(t *testing.T) {
+	b := randomBuffer(10000, 257, 1)
+	w := NewWorkspace(257)
+	w.ByVoxel(b, 257)
+	if !IsSorted(b.P) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSortIsPermutation(t *testing.T) {
+	b := randomBuffer(5000, 64, 2)
+	wantW := map[float32]int32{}
+	for _, p := range b.P {
+		wantW[p.W] = p.Voxel
+	}
+	w := NewWorkspace(64)
+	w.ByVoxel(b, 64)
+	if len(b.P) != 5000 {
+		t.Fatalf("lost particles: %d", len(b.P))
+	}
+	for _, p := range b.P {
+		if v, ok := wantW[p.W]; !ok || v != p.Voxel {
+			t.Fatalf("particle tagged %g corrupted", p.W)
+		}
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	b := particle.NewBuffer(6)
+	// Two cells, interleaved, tags record original order.
+	for i := 0; i < 6; i++ {
+		b.Append(particle.Particle{Voxel: int32(i % 2), W: float32(i)})
+	}
+	w := NewWorkspace(2)
+	w.ByVoxel(b, 2)
+	want := []float32{0, 2, 4, 1, 3, 5}
+	for i, p := range b.P {
+		if p.W != want[i] {
+			t.Fatalf("slot %d has tag %g, want %g (stability broken)", i, p.W, want[i])
+		}
+	}
+}
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	w := NewWorkspace(8)
+	b := particle.NewBuffer(0)
+	w.ByVoxel(b, 8) // must not panic
+	b.Append(particle.Particle{Voxel: 3})
+	w.ByVoxel(b, 8)
+	if b.N() != 1 || b.P[0].Voxel != 3 {
+		t.Fatal("single-particle sort corrupted buffer")
+	}
+}
+
+func TestWorkspaceGrows(t *testing.T) {
+	w := NewWorkspace(4)
+	b := randomBuffer(100, 1000, 3)
+	w.ByVoxel(b, 1000) // nv larger than initial workspace
+	if !IsSorted(b.P) {
+		t.Fatal("not sorted after workspace growth")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	p := []particle.Particle{{Voxel: 1}, {Voxel: 1}, {Voxel: 2}}
+	if !IsSorted(p) {
+		t.Fatal("sorted slice reported unsorted")
+	}
+	p[2].Voxel = 0
+	if IsSorted(p) {
+		t.Fatal("unsorted slice reported sorted")
+	}
+}
+
+func TestSortIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := randomBuffer(500, 32, seed)
+		w := NewWorkspace(32)
+		w.ByVoxel(b, 32)
+		first := append([]particle.Particle(nil), b.P...)
+		w.ByVoxel(b, 32)
+		for i := range first {
+			if first[i] != b.P[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSort100k(b *testing.B) {
+	buf := randomBuffer(100000, 4096, 9)
+	w := NewWorkspace(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ByVoxel(buf, 4096)
+	}
+}

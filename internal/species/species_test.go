@@ -1,0 +1,52 @@
+package species
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", -1, 1, 0); err == nil {
+		t.Error("accepted empty name")
+	}
+	if _, err := New("e", -1, 0, 0); err == nil {
+		t.Error("accepted zero mass")
+	}
+	if _, err := New("e", 0, 1, 0); err == nil {
+		t.Error("accepted zero charge")
+	}
+	if _, err := New("e", -1, 1, -1); err == nil {
+		t.Error("accepted negative sort interval")
+	}
+}
+
+func TestElectron(t *testing.T) {
+	e := Electron(20)
+	if e.Q != -1 || e.M != 1 || e.Name != "electron" {
+		t.Fatalf("electron = %+v", e)
+	}
+}
+
+func TestIon(t *testing.T) {
+	he, err := Ion("helium", 2, 7294, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he.Q != 2 || he.M != 7294 {
+		t.Fatalf("helium = %+v", he)
+	}
+}
+
+func TestShouldSort(t *testing.T) {
+	s := Electron(10)
+	if s.ShouldSort(0) {
+		t.Error("must not sort at step 0")
+	}
+	if !s.ShouldSort(10) || !s.ShouldSort(20) {
+		t.Error("must sort on multiples of the interval")
+	}
+	if s.ShouldSort(15) {
+		t.Error("sorted off-interval")
+	}
+	never := Electron(0)
+	if never.ShouldSort(100) {
+		t.Error("interval 0 must never sort")
+	}
+}

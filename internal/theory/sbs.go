@@ -1,0 +1,73 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ion-acoustic and stimulated Brillouin scattering (SBS) relations —
+// the other backscatter channel of the paper's hohlraum plasmas. The
+// PIC decks here concentrate on SRS (the abstract's parameter study),
+// but a production LPI analysis always evaluates both channels'
+// thresholds, so the theory layer carries them.
+
+// IonAcousticSpeed returns the ion-acoustic speed
+// cs = sqrt((Z·Te + 3·Ti)/mi) in units of c, with Te, Ti in me·c² and
+// mi in electron masses.
+func IonAcousticSpeed(z, te, ti, mi float64) float64 {
+	return math.Sqrt((z*te + 3*ti) / mi)
+}
+
+// IonLandauRatio returns Ti/(Z·Te), the parameter controlling ion
+// Landau damping of the acoustic wave (heavily damped above ~0.2).
+func IonLandauRatio(z, te, ti float64) float64 {
+	return ti / (z * te)
+}
+
+// SBSMatch holds the backscatter SBS matching solution for a pump of
+// frequency 1.
+type SBSMatch struct {
+	K0     float64 // pump wavenumber
+	Ws, Ks float64 // scattered EM frequency and |wavenumber|
+	Wa, Ka float64 // acoustic frequency and wavenumber
+	Cs     float64 // acoustic speed
+}
+
+// MatchSBS solves ω0 = ωs + ωa, k0 = −ks + ka with ωa = cs·ka for
+// backscatter. Because cs ≪ c, ka ≈ 2k0 and the downshift is tiny.
+func MatchSBS(n, z, te, ti, mi float64) (SBSMatch, error) {
+	if n <= 0 || n >= 1 {
+		return SBSMatch{}, fmt.Errorf("theory: SBS needs 0 < n < ncr, got %g", n)
+	}
+	k0, err := EMDispersion(1, n)
+	if err != nil {
+		return SBSMatch{}, err
+	}
+	cs := IonAcousticSpeed(z, te, ti, mi)
+	// Iterate: ka = k0 + ks, ωa = cs·ka, ωs = 1 − ωa, ks from EM branch.
+	ks := k0
+	var m SBSMatch
+	for it := 0; it < 200; it++ {
+		ka := k0 + ks
+		wa := cs * ka
+		ws := 1 - wa
+		newKs, err := EMDispersion(ws, n)
+		if err != nil {
+			return SBSMatch{}, err
+		}
+		m = SBSMatch{K0: k0, Ws: ws, Ks: newKs, Wa: wa, Ka: ka, Cs: cs}
+		if math.Abs(newKs-ks) < 1e-14 {
+			return m, nil
+		}
+		ks = newKs
+	}
+	return m, nil
+}
+
+// Growth returns the homogeneous SBS growth rate for pump amplitude a0:
+//
+//	γ0 = (ka·a0/4)·ωpi/√(ωa·ωs),  ωpi = ωpe·sqrt(Z·me/mi).
+func (m SBSMatch) Growth(a0, n, z, mi float64) float64 {
+	wpi := math.Sqrt(n * z / mi)
+	return m.Ka * a0 / 4 * wpi / math.Sqrt(m.Wa*m.Ws)
+}

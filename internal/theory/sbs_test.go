@@ -1,0 +1,71 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIonAcousticSpeed(t *testing.T) {
+	// Helium-like: Z=2, mi=7294 me, Te=0.005, Ti=Te/5.
+	cs := IonAcousticSpeed(2, 0.005, 0.001, 7294)
+	want := math.Sqrt((2*0.005 + 3*0.001) / 7294)
+	if math.Abs(cs-want) > 1e-15 {
+		t.Fatalf("cs = %g, want %g", cs, want)
+	}
+	// cs ≪ vth,e always.
+	if cs > math.Sqrt(0.005) {
+		t.Fatal("acoustic speed above electron thermal speed")
+	}
+}
+
+func TestIonLandauRatio(t *testing.T) {
+	if r := IonLandauRatio(2, 0.005, 0.001); math.Abs(r-0.1) > 1e-12 {
+		t.Fatalf("Ti/ZTe = %g, want 0.1", r)
+	}
+}
+
+func TestMatchSBS(t *testing.T) {
+	m, err := MatchSBS(0.1, 2, 0.005, 0.001, 7294)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Ws+m.Wa-1) > 1e-12 {
+		t.Fatalf("frequency matching broken: %g", m.Ws+m.Wa)
+	}
+	if math.Abs(m.Ka-(m.K0+m.Ks)) > 1e-12 {
+		t.Fatalf("wavenumber matching broken")
+	}
+	// Brillouin downshift is tiny compared with Raman's.
+	if m.Wa > 0.01 {
+		t.Fatalf("acoustic frequency %g too large", m.Wa)
+	}
+	if math.Abs(m.Ka-2*m.K0)/m.K0 > 0.01 {
+		t.Fatalf("ka = %g, want ≈2k0 = %g", m.Ka, 2*m.K0)
+	}
+}
+
+func TestMatchSBSValidation(t *testing.T) {
+	if _, err := MatchSBS(1.5, 2, 0.005, 0.001, 7294); err == nil {
+		t.Fatal("accepted overdense plasma")
+	}
+}
+
+func TestSBSGrowthScalesWithA0(t *testing.T) {
+	m, err := MatchSBS(0.1, 2, 0.005, 0.001, 7294)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := m.Growth(0.01, 0.1, 2, 7294)
+	g2 := m.Growth(0.03, 0.1, 2, 7294)
+	if math.Abs(g2-3*g1) > 1e-15 {
+		t.Fatal("SBS growth not linear in a0")
+	}
+	// SBS grows slower than SRS at equal a0 (ωpi ≪ ωpe).
+	srs, err := MatchSRS(0.1, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 >= srs.Growth(0.01, 0.1) {
+		t.Fatal("SBS growth should be below SRS at these parameters")
+	}
+}

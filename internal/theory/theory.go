@@ -1,0 +1,200 @@
+// Package theory provides the linear plasma theory the LPI reflectivity
+// study is compared against: the plasma dispersion function, the
+// electron plasma wave (EPW) dispersion with Landau damping, the
+// stimulated Raman scattering (SRS) matching conditions and homogeneous
+// growth rate, and a steady-state convective gain estimate — the
+// "linear theory" curve that the PIC reflectivity inflates above when
+// electron trapping kicks in.
+//
+// All quantities are in the code's normalized units: frequencies in the
+// reference frequency ω (the laser), densities in ncr, temperatures in
+// me·c², velocities in c.
+package theory
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Faddeeva returns w(z) = exp(−z²)·erfc(−iz) for Im z ≥ 0, using
+// Humlíček's 4-region rational approximations (relative accuracy ~1e-4,
+// plenty for growth-rate work). For Im z < 0 it uses the reflection
+// w(z) = 2·exp(−z²) − conj(w(conj(z))).
+func Faddeeva(z complex128) complex128 {
+	if imag(z) < 0 {
+		return 2*cmplx.Exp(-z*z) - cmplx.Conj(Faddeeva(cmplx.Conj(z)))
+	}
+	x, y := real(z), imag(z)
+	t := complex(y, -x)
+	s := math.Abs(x) + y
+	switch {
+	case s >= 15:
+		return t * 0.5641896 / (0.5 + t*t)
+	case s >= 5.5:
+		u := t * t
+		return t * (1.410474 + u*0.5641896) / (0.75 + u*(3.0+u))
+	case y >= 0.195*math.Abs(x)-0.176:
+		return (16.4955 + t*(20.20933+t*(11.96482+t*(3.778987+t*0.5642236)))) /
+			(16.4955 + t*(38.82363+t*(39.27121+t*(21.69274+t*(6.699398+t)))))
+	default:
+		u := t * t
+		num := t * (36183.31 - u*(3321.9905-u*(1540.787-u*(219.0313-u*(35.76683-u*(1.320522-u*0.56419))))))
+		den := 32066.6 - u*(24322.84-u*(9022.228-u*(2186.181-u*(364.2191-u*(61.57037-u*(1.841439-u))))))
+		// Note u = t² = −z², so exp(u) is the exp(−z²) of w's definition.
+		return cmplx.Exp(u) - num/den
+	}
+}
+
+// Z returns the plasma dispersion function Z(ζ) = i√π·w(ζ).
+func Z(zeta complex128) complex128 {
+	return complex(0, math.SqrtPi) * Faddeeva(zeta)
+}
+
+// ZPrime returns Z'(ζ) = −2(1 + ζZ(ζ)).
+func ZPrime(zeta complex128) complex128 {
+	return -2 * (1 + zeta*Z(zeta))
+}
+
+// BohmGross returns the fluid EPW frequency ω/ωref for wavenumber k
+// (code units) in a plasma of density n (ncr) and temperature te
+// (me·c²): ω² = ωpe² + 3·k²·vth².
+func BohmGross(k, n, te float64) float64 {
+	return math.Sqrt(n + 3*k*k*te)
+}
+
+// EPWDispersion solves the kinetic EPW dispersion relation
+// 1 − Z'(ζ)/(2k²λD²) = 0 for the least-damped root and returns the
+// complex frequency ω (code units): real part the oscillation frequency,
+// −imag the Landau damping rate. It Newton-iterates from the Bohm-Gross
+// + Landau estimate.
+func EPWDispersion(k, n, te float64) (complex128, error) {
+	if k <= 0 || n <= 0 || n >= 1 || te <= 0 {
+		return 0, fmt.Errorf("theory: bad EPW parameters k=%g n=%g te=%g", k, n, te)
+	}
+	wpe := math.Sqrt(n)
+	vth := math.Sqrt(te)
+	kld := k * vth / wpe
+	// Initial guess: Bohm-Gross frequency, estimate damping below.
+	w := complex(BohmGross(k, n, te), -landauEstimate(kld)*wpe)
+	// D(ω) = 1 − Z'(ζ)/(2 k²λD²), ζ = ω/(√2 k vth).
+	eps := func(w complex128) complex128 {
+		zeta := w / complex(math.Sqrt2*k*vth, 0)
+		return 1 - ZPrime(zeta)/complex(2*kld*kld, 0)
+	}
+	for it := 0; it < 60; it++ {
+		f := eps(w)
+		h := complex(1e-6*cmplx.Abs(w), 0)
+		df := (eps(w+h) - eps(w-h)) / (2 * h)
+		step := f / df
+		w -= step
+		if cmplx.Abs(step) < 1e-12*cmplx.Abs(w) {
+			return w, nil
+		}
+	}
+	return w, fmt.Errorf("theory: EPW dispersion Newton did not converge for kλD=%g", kld)
+}
+
+// landauEstimate is the textbook Landau damping rate γ/ωpe for a given
+// kλD (valid for kλD ≲ 0.4; used only as a Newton seed).
+func landauEstimate(kld float64) float64 {
+	k2 := kld * kld
+	return math.Sqrt(math.Pi/8) / (k2 * kld) * math.Exp(-0.5/k2-1.5)
+}
+
+// EMDispersion returns the EM wavenumber k for frequency w in density n:
+// k = sqrt(w² − ωpe²). It returns an error below cutoff.
+func EMDispersion(w, n float64) (float64, error) {
+	k2 := w*w - n
+	if k2 <= 0 {
+		return 0, fmt.Errorf("theory: ω=%g below cutoff in n=%g ncr", w, n)
+	}
+	return math.Sqrt(k2), nil
+}
+
+// SRSMatch holds the backscatter SRS matching solution for pump
+// frequency 1 (the unit system's reference).
+type SRSMatch struct {
+	K0     float64    // pump wavenumber
+	Ws, Ks float64    // scattered EM wave frequency and |wavenumber| (propagating −x)
+	We, Ke float64    // EPW frequency and wavenumber
+	NuL    float64    // EPW Landau damping rate (amplitude, code units)
+	KLD    float64    // k·λD of the EPW — the trapping-physics control knob
+	WEPW   complex128 // full complex EPW root
+}
+
+// MatchSRS solves the backscatter matching conditions ω0 = ωs + ωe,
+// k0 = −ks + ke (ks magnitude, scattered wave counter-propagating) for a
+// plasma of density n and temperature te, iterating the kinetic EPW
+// dispersion to self-consistency.
+func MatchSRS(n, te float64) (SRSMatch, error) {
+	if n <= 0 || n >= 0.25 {
+		return SRSMatch{}, fmt.Errorf("theory: SRS backscatter needs 0 < n < ncr/4, got %g", n)
+	}
+	k0, err := EMDispersion(1, n)
+	if err != nil {
+		return SRSMatch{}, err
+	}
+	wpe := math.Sqrt(n)
+	// Initial guess: ωe from Bohm-Gross at ke ≈ 2k0.
+	we := BohmGross(2*k0, n, te)
+	var m SRSMatch
+	for it := 0; it < 100; it++ {
+		ws := 1 - we
+		if ws <= wpe {
+			return SRSMatch{}, fmt.Errorf("theory: scattered wave cut off (n too high: %g)", n)
+		}
+		ks, err := EMDispersion(ws, n)
+		if err != nil {
+			return SRSMatch{}, err
+		}
+		ke := k0 + ks
+		root, err := EPWDispersion(ke, n, te)
+		if err != nil {
+			return SRSMatch{}, err
+		}
+		newWe := real(root)
+		m = SRSMatch{
+			K0: k0, Ws: ws, Ks: ks, We: newWe, Ke: ke,
+			NuL:  -imag(root),
+			KLD:  ke * math.Sqrt(te) / wpe,
+			WEPW: root,
+		}
+		if math.Abs(newWe-we) < 1e-12 {
+			return m, nil
+		}
+		we = 0.5*we + 0.5*newWe
+	}
+	return m, nil
+}
+
+// Growth returns the homogeneous SRS growth rate γ0 (code units) for a
+// pump of normalized amplitude a0:
+//
+//	γ0 = (ke·vos/4)·ωpe/√(ωe·ωs),  vos = a0.
+func (m SRSMatch) Growth(a0, n float64) float64 {
+	wpe := math.Sqrt(n)
+	return m.Ke * a0 / 4 * wpe / math.Sqrt(m.We*m.Ws)
+}
+
+// LinearReflectivity estimates the steady-state seeded convective
+// reflectivity in the strongly damped EPW regime. With the EPW slaved to
+// the beat drive (ae = γ0·as/νL), the scattered amplitude grows in space
+// at κ = γ0²/(νL·vgs), giving the intensity gain
+//
+//	R = Rseed·exp(G),  G = 2·γ0²·L / (νL·vgs)
+//
+// with vgs = ks/ωs the scattered wave group velocity and L the plasma
+// length. This is the standard linear gain the paper's reflectivity
+// measurements are contrasted with: kinetic inflation makes the measured
+// R exceed it dramatically above threshold. The result is clamped to 1.
+func (m SRSMatch) LinearReflectivity(a0, n, length, rSeed float64) float64 {
+	g0 := m.Growth(a0, n)
+	vgs := m.Ks / m.Ws
+	if m.NuL <= 0 || vgs <= 0 {
+		return math.Min(1, rSeed)
+	}
+	gain := 2 * g0 * g0 * length / (m.NuL * vgs)
+	r := rSeed * math.Exp(gain)
+	return math.Min(1, r)
+}

@@ -1,0 +1,120 @@
+// Package units defines the normalized unit system used throughout the
+// simulation and helpers to translate between laboratory (SI) quantities
+// and code units.
+//
+// The code works in the conventional relativistic PIC normalization:
+//
+//   - velocities are measured in units of the speed of light, c = 1;
+//   - time is measured in units of 1/ω, where ω is a caller-chosen
+//     reference angular frequency (the laser frequency ω0 for LPI decks,
+//     or the plasma frequency ωpe for pure-plasma decks);
+//   - lengths are measured in units of c/ω;
+//   - momenta are u = γv/c (dimensionless);
+//   - electric fields E and magnetic fields cB are measured in units of
+//     me·c·ω/e, so that the electron normalized charge-to-mass ratio is
+//     exactly −1;
+//   - densities are measured in units of the critical density
+//     ncr = ε0·me·ω²/e², so that ωpe²/ω² = n/ncr;
+//   - ε0 = μ0 = 1, which makes the vacuum Maxwell equations
+//     ∂B/∂t = −∇×E and ∂E/∂t = ∇×B − J.
+//
+// With these conventions the dimensionless laser strength parameter
+// a0 = eE/(me·c·ω0) is numerically the peak electric field of a wave of
+// frequency 1 in code units.
+package units
+
+import "math"
+
+// Physical constants (SI). Used only when translating a deck described
+// in laboratory units into code units; the simulation itself never
+// consumes them.
+const (
+	C           = 299792458.0    // speed of light, m/s
+	ElectronQ   = 1.60217663e-19 // elementary charge, C
+	ElectronM   = 9.1093837e-31  // electron mass, kg
+	Epsilon0    = 8.8541878e-12  // vacuum permittivity, F/m
+	BoltzmannK  = 1.380649e-23   // Boltzmann constant, J/K
+	EVPerJoule  = 1.0 / ElectronQ
+	ProtonM     = 1.67262192e-27 // proton mass, kg
+	MassRatioHP = ProtonM / ElectronM
+)
+
+// System describes a normalized unit system anchored at a reference
+// angular frequency OmegaRef (rad/s). The zero value is not useful; use
+// NewSystem or NewSystemFromWavelength.
+type System struct {
+	OmegaRef float64 // reference angular frequency, rad/s
+}
+
+// NewSystem returns a unit system anchored at the given reference
+// angular frequency in rad/s.
+func NewSystem(omegaRef float64) System { return System{OmegaRef: omegaRef} }
+
+// NewSystemFromWavelength returns a unit system anchored at the angular
+// frequency of light with the given vacuum wavelength in meters (e.g.
+// 351e-9 for the frequency-tripled NIF laser the paper models).
+func NewSystemFromWavelength(lambda float64) System {
+	return System{OmegaRef: 2 * math.Pi * C / lambda}
+}
+
+// TimeUnit returns the duration of one code time unit in seconds.
+func (s System) TimeUnit() float64 { return 1 / s.OmegaRef }
+
+// LengthUnit returns the length of one code length unit (c/ω) in meters.
+func (s System) LengthUnit() float64 { return C / s.OmegaRef }
+
+// EFieldUnit returns one code E-field unit (me·c·ω/e) in V/m.
+func (s System) EFieldUnit() float64 {
+	return ElectronM * C * s.OmegaRef / ElectronQ
+}
+
+// CriticalDensity returns the critical density ncr = ε0·me·ω²/e² in m⁻³.
+func (s System) CriticalDensity() float64 {
+	w := s.OmegaRef
+	return Epsilon0 * ElectronM * w * w / (ElectronQ * ElectronQ)
+}
+
+// A0FromIntensity converts a laser intensity in W/cm² and a vacuum
+// wavelength in meters to the dimensionless strength parameter a0 for
+// linear polarization, using a0 = 0.855·sqrt(I[10^18 W/cm²])·λ[µm].
+func A0FromIntensity(iWcm2, lambdaM float64) float64 {
+	lambdaUm := lambdaM * 1e6
+	return 0.855 * math.Sqrt(iWcm2/1e18) * lambdaUm
+}
+
+// IntensityFromA0 inverts A0FromIntensity, returning W/cm².
+func IntensityFromA0(a0, lambdaM float64) float64 {
+	lambdaUm := lambdaM * 1e6
+	r := a0 / (0.855 * lambdaUm)
+	return r * r * 1e18
+}
+
+// Plasma parameter helpers. All inputs and outputs are in code units of
+// the enclosing System unless stated otherwise.
+
+// Wpe returns the electron plasma frequency (in units of the reference
+// frequency) of a plasma with electron density n in critical-density
+// units: ωpe/ω = sqrt(n/ncr).
+func Wpe(nOverNcr float64) float64 { return math.Sqrt(nOverNcr) }
+
+// VThermal returns the non-relativistic electron thermal speed
+// sqrt(Te/me c²) in units of c, given Te in units of me·c² (use
+// TeFromEV to build it).
+func VThermal(teOverMc2 float64) float64 { return math.Sqrt(teOverMc2) }
+
+// TeFromEV converts a temperature in electron-volts to units of me·c².
+func TeFromEV(teEV float64) float64 {
+	const mc2EV = ElectronM * C * C * EVPerJoule // ≈ 510998.9 eV
+	return teEV / mc2EV
+}
+
+// DebyeLength returns the electron Debye length λD = vth/ωpe in code
+// length units (c/ω), given density in ncr units and Te in me·c² units.
+func DebyeLength(nOverNcr, teOverMc2 float64) float64 {
+	return VThermal(teOverMc2) / Wpe(nOverNcr)
+}
+
+// KLambdaD returns k·λD for a wavenumber k in code units.
+func KLambdaD(k, nOverNcr, teOverMc2 float64) float64 {
+	return k * DebyeLength(nOverNcr, teOverMc2)
+}
