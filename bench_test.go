@@ -13,6 +13,7 @@
 package govpic
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -138,6 +139,28 @@ func BenchmarkE10Conservation(b *testing.B) {
 		}
 		report(b, r)
 		b.ReportMetric(r.Rows[0][1], "energy-drift")
+	}
+}
+
+// BenchmarkPipelinePush sweeps the intra-rank worker count of the
+// pipelined particle push. The output is bit-identical across worker
+// counts; Mpart/s and Mflop/s quantify the speedup (bounded by the
+// host's core count — see GOMAXPROCS in the printed table).
+func BenchmarkPipelinePush(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.PipelineSweep(24, 64, 20, []int{w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, dup := printOnce.LoadOrStore(fmt.Sprintf("%s/W%d", r.Name, w), true); !dup {
+					b.Logf("\n%s", r.Format())
+				}
+				b.ReportMetric(r.Rows[0][1], "Mpart/s")
+				b.ReportMetric(r.Rows[0][2], "Mflop/s")
+			}
+		})
 	}
 }
 

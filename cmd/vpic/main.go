@@ -28,6 +28,7 @@ func main() {
 		steps   = flag.Int("steps", 500, "number of time steps")
 		every   = flag.Int("every", 10, "energy sample interval (steps)")
 		ranks   = flag.Int("ranks", 1, "domain-decomposed rank count")
+		workers = flag.Int("workers", 0, "pipeline workers per rank (0 = CPUs/rank, capped at 8)")
 		ppc     = flag.Int("ppc", 64, "particles per cell")
 		nx      = flag.Int("nx", 64, "cells along x (non-LPI decks)")
 		a0      = flag.Float64("a0", 0.02, "laser strength (lpi deck)")
@@ -60,6 +61,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *workers != 0 {
+		d.Cfg.Workers = *workers
+	}
 	sim, err := d.New()
 	if err != nil {
 		log.Fatal(err)
@@ -76,8 +80,8 @@ func main() {
 		fmt.Printf("restored at step %d (t = %.3f)\n", sim.StepCount(), sim.Time())
 	}
 
-	fmt.Printf("deck %q: %d cells, %d particles, %d ranks, dt = %.4g\n",
-		d.Name, d.Cfg.NX*d.Cfg.NY*d.Cfg.NZ, sim.TotalParticles(), d.Cfg.NRanks, d.Cfg.DT)
+	fmt.Printf("deck %q: %d cells, %d particles, %d ranks × %d workers, dt = %.4g\n",
+		d.Name, d.Cfg.NX*d.Cfg.NY*d.Cfg.NZ, sim.TotalParticles(), d.Cfg.NRanks, sim.Cfg.Workers, d.Cfg.DT)
 
 	var hist diag.History
 	hist.Add(sim.Energy())

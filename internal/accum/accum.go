@@ -15,6 +15,7 @@ package accum
 import (
 	"govpic/internal/field"
 	"govpic/internal/grid"
+	"govpic/internal/pipe"
 )
 
 // Cell holds one voxel's 12 accumulation slots. Slot order within each
@@ -43,6 +44,33 @@ func (a *Array) Clear() {
 	clear(a.A)
 }
 
+// ClearAll zeroes every array in as, one pool task per array.
+func ClearAll(p *pipe.Pool, as []*Array) {
+	p.Run(len(as), func(i int) { as[i].Clear() })
+}
+
+// Reduce overwrites dst's slots with the slot-wise sum of srcs — the
+// pipeline accumulators — taken in slice order. Each voxel's sum is a
+// fixed left-associated chain over srcs, and the pool only partitions
+// the voxel range, so the result is bit-identical for any worker count.
+func Reduce(p *pipe.Pool, dst *Array, srcs []*Array) {
+	d := dst.A
+	p.Range(len(d), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			c := srcs[0].A[v]
+			for _, s := range srcs[1:] {
+				o := &s.A[v]
+				for j := 0; j < 4; j++ {
+					c.JX[j] += o.JX[j]
+					c.JY[j] += o.JY[j]
+					c.JZ[j] += o.JZ[j]
+				}
+			}
+			d[v] = c
+		}
+	})
+}
+
 // Unload scatters the accumulated currents into the field J arrays
 // (adding to whatever is there, so antenna currents survive) with the
 // normalization that converts accumulated q·Δoffset weights into edge
@@ -52,6 +80,14 @@ func (a *Array) Clear() {
 //
 // dt is the time step the displacements were accumulated over.
 func (a *Array) Unload(f *field.Fields, dt float64) {
+	a.UnloadPar(nil, f, dt)
+}
+
+// UnloadPar is Unload with the z-plane sweeps of each edge family split
+// over a worker pool. Every edge value is gathered independently from
+// its (up to four) adjacent cells, so partitioning the z range changes
+// nothing numerically.
+func (a *Array) UnloadPar(p *pipe.Pool, f *field.Fields, dt float64) {
 	g := a.G
 	sx, sy, _ := g.Strides()
 	sxy := sx * sy
@@ -62,33 +98,39 @@ func (a *Array) Unload(f *field.Fields, dt float64) {
 
 	// Jx edges span i ∈ [1,NX], j,k ∈ [1,N+1]: each gathers from the four
 	// cells sharing the edge, (i, j−1..j, k−1..k); ghost cells hold zero.
-	for iz := 1; iz <= g.NZ+1; iz++ {
-		for iy := 1; iy <= g.NY+1; iy++ {
-			v := g.Voxel(1, iy, iz)
-			for ix := 1; ix <= g.NX; ix++ {
-				f.Jx[v] += cx * (A[v].JX[0] + A[v-sx].JX[1] + A[v-sxy].JX[2] + A[v-sx-sxy].JX[3])
-				v++
+	p.Range(g.NZ+1, func(lo, hi int) {
+		for iz := lo + 1; iz <= hi; iz++ {
+			for iy := 1; iy <= g.NY+1; iy++ {
+				v := g.Voxel(1, iy, iz)
+				for ix := 1; ix <= g.NX; ix++ {
+					f.Jx[v] += cx * (A[v].JX[0] + A[v-sx].JX[1] + A[v-sxy].JX[2] + A[v-sx-sxy].JX[3])
+					v++
+				}
 			}
 		}
-	}
+	})
 	// Jy edges: j ∈ [1,NY], k,i ∈ [1,N+1]; cells (k−1..k, i−1..i).
-	for iz := 1; iz <= g.NZ+1; iz++ {
-		for iy := 1; iy <= g.NY; iy++ {
-			v := g.Voxel(1, iy, iz)
-			for ix := 1; ix <= g.NX+1; ix++ {
-				f.Jy[v] += cy * (A[v].JY[0] + A[v-sxy].JY[1] + A[v-1].JY[2] + A[v-sxy-1].JY[3])
-				v++
+	p.Range(g.NZ+1, func(lo, hi int) {
+		for iz := lo + 1; iz <= hi; iz++ {
+			for iy := 1; iy <= g.NY; iy++ {
+				v := g.Voxel(1, iy, iz)
+				for ix := 1; ix <= g.NX+1; ix++ {
+					f.Jy[v] += cy * (A[v].JY[0] + A[v-sxy].JY[1] + A[v-1].JY[2] + A[v-sxy-1].JY[3])
+					v++
+				}
 			}
 		}
-	}
+	})
 	// Jz edges: k ∈ [1,NZ], i,j ∈ [1,N+1]; cells (i−1..i, j−1..j).
-	for iz := 1; iz <= g.NZ; iz++ {
-		for iy := 1; iy <= g.NY+1; iy++ {
-			v := g.Voxel(1, iy, iz)
-			for ix := 1; ix <= g.NX+1; ix++ {
-				f.Jz[v] += cz * (A[v].JZ[0] + A[v-1].JZ[1] + A[v-sx].JZ[2] + A[v-1-sx].JZ[3])
-				v++
+	p.Range(g.NZ, func(lo, hi int) {
+		for iz := lo + 1; iz <= hi; iz++ {
+			for iy := 1; iy <= g.NY+1; iy++ {
+				v := g.Voxel(1, iy, iz)
+				for ix := 1; ix <= g.NX+1; ix++ {
+					f.Jz[v] += cz * (A[v].JZ[0] + A[v-1].JZ[1] + A[v-sx].JZ[2] + A[v-1-sx].JZ[3])
+					v++
+				}
 			}
 		}
-	}
+	})
 }

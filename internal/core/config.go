@@ -12,6 +12,7 @@ import (
 	"govpic/internal/grid"
 	"govpic/internal/laser"
 	"govpic/internal/loader"
+	"govpic/internal/pipe"
 	"govpic/internal/push"
 )
 
@@ -55,6 +56,13 @@ type Config struct {
 	DT float64
 	// NRanks decomposes the domain; 1 runs single-rank.
 	NRanks int
+	// Workers is the number of intra-rank pipeline workers driving the
+	// particle push, current reduction and field sweeps — the software
+	// analogue of the paper's per-Cell SPE pipelines. 0 resolves to
+	// pipe.DefaultWorkers(NRanks) (≈ CPUs per rank); values above
+	// pipe.NumBlocks are capped there. Results are bit-identical for
+	// every worker count.
+	Workers int
 
 	FieldBC    [field.NumFaces]field.BC
 	ParticleBC [field.NumFaces]push.Action
@@ -83,6 +91,15 @@ type Config struct {
 func (c *Config) Validate() error {
 	if c.NRanks == 0 {
 		c.NRanks = 1
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = pipe.DefaultWorkers(c.NRanks)
+	}
+	if c.Workers > pipe.NumBlocks {
+		c.Workers = pipe.NumBlocks
 	}
 	if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
 		return fmt.Errorf("core: cell counts %d×%d×%d invalid", c.NX, c.NY, c.NZ)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"govpic/internal/loader"
+	"govpic/internal/perf"
+	"govpic/internal/push"
+)
+
+// twoSpeciesDeck is a fixed-seed 3D periodic hydrogen plasma hot enough
+// that particles cross cell faces every step.
+func twoSpeciesDeck(nRanks, workers int) Config {
+	allWrap := [6]push.Action{push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap, push.Wrap}
+	n0 := 0.25
+	return Config{
+		NX: 12, NY: 6, NZ: 4,
+		DX: 0.5, DY: 0.5, DZ: 0.5,
+		DT:         0.12,
+		NRanks:     nRanks,
+		Workers:    workers,
+		ParticleBC: allWrap,
+		Species: []SpeciesConfig{
+			{
+				Name: "electron", Q: -1, M: 1, SortInterval: 5,
+				Load: &loader.Params{
+					Profile: loader.Uniform(n0), PPC: 16, Nref: n0,
+					Uth: [3]float64{0.08, 0.08, 0.08}, Seed: 23,
+				},
+			},
+			{
+				Name: "ion", Q: 1, M: 100, SortInterval: 7,
+				NeutralizePrevious: true,
+				Load: &loader.Params{
+					Uth: [3]float64{0.01, 0.01, 0.01}, Seed: 24,
+				},
+			},
+		},
+	}
+}
+
+// TestWorkerCountDeterminism is the acceptance test of the pipeline
+// layer: the same deck advanced with 1 worker and with 4 (and 8)
+// workers must produce byte-identical particle state AND fields. The
+// fixed pipe.NumBlocks partition and the deterministic block reduction
+// make the arithmetic independent of the worker count.
+func TestWorkerCountDeterminism(t *testing.T) {
+	const steps = 20
+	run := func(workers int) *Simulation {
+		s, err := New(twoSpeciesDeck(1, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(steps)
+		return s
+	}
+	ref := run(1)
+	for _, w := range []int{4, 8} {
+		got := run(w)
+		compareSims(t, ref, got, fmt.Sprintf("W=1 vs W=%d", w))
+	}
+}
+
+// TestWorkerDeterminismMultiRank repeats the check across the rank
+// decomposition: worker count must not leak into the particle exchange
+// or ghost updates either.
+func TestWorkerDeterminismMultiRank(t *testing.T) {
+	const steps = 12
+	run := func(workers int) *Simulation {
+		s, err := New(twoSpeciesDeck(2, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(steps)
+		return s
+	}
+	compareSims(t, run(1), run(4), "2 ranks, W=1 vs W=4")
+}
+
+// compareSims requires bitwise-equal particle buffers and field arrays.
+func compareSims(t *testing.T, a, b *Simulation, label string) {
+	t.Helper()
+	if len(a.Ranks) != len(b.Ranks) {
+		t.Fatalf("%s: rank counts differ", label)
+	}
+	for r := range a.Ranks {
+		ra, rb := a.Ranks[r], b.Ranks[r]
+		for si := range ra.Species {
+			pa, pb := ra.Species[si].Buf.P, rb.Species[si].Buf.P
+			if len(pa) != len(pb) {
+				t.Fatalf("%s: rank %d species %d particle counts %d vs %d",
+					label, r, si, len(pa), len(pb))
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("%s: rank %d species %d particle %d differs:\n%+v\n%+v",
+						label, r, si, i, pa[i], pb[i])
+				}
+			}
+		}
+		fa, fb := ra.D.F, rb.D.F
+		for _, arr := range []struct {
+			name string
+			x, y []float32
+		}{
+			{"Ex", fa.Ex, fb.Ex}, {"Ey", fa.Ey, fb.Ey}, {"Ez", fa.Ez, fb.Ez},
+			{"Bx", fa.Bx, fb.Bx}, {"By", fa.By, fb.By}, {"Bz", fa.Bz, fb.Bz},
+			{"Jx", fa.Jx, fb.Jx}, {"Jy", fa.Jy, fb.Jy}, {"Jz", fa.Jz, fb.Jz},
+		} {
+			for v := range arr.x {
+				if arr.x[v] != arr.y[v] {
+					t.Fatalf("%s: rank %d %s[%d] = %g vs %g",
+						label, r, arr.name, v, arr.x[v], arr.y[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineRace drives a multi-rank, multi-worker run long enough
+// for sorts, collisions of block boundaries with migrations, and every
+// parallel sweep to interleave — the `go test -race` target for the
+// pipeline layer.
+func TestPipelineRace(t *testing.T) {
+	cfg := twoSpeciesDeck(2, 4)
+	cfg.CleanInterval = 8
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := s.TotalParticles()
+	s.Run(20)
+	if s.TotalParticles() != n0 {
+		t.Fatalf("periodic run lost particles: %d -> %d", n0, s.TotalParticles())
+	}
+	// The push section must have recorded pipeline-parallel regions.
+	b := s.PerfBreakdown()
+	if b.Concurrency(perf.Push) <= 0 {
+		t.Fatal("no pipeline stats recorded for the push section")
+	}
+	if b.ParallelShare(perf.Push) <= 0 {
+		t.Fatal("push section reports zero parallel share")
+	}
+}

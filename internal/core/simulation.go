@@ -14,6 +14,7 @@ import (
 	"govpic/internal/mp"
 	"govpic/internal/particle"
 	"govpic/internal/perf"
+	"govpic/internal/pipe"
 	"govpic/internal/push"
 	psort "govpic/internal/sort"
 	"govpic/internal/species"
@@ -36,6 +37,15 @@ type Rank struct {
 	rho     []float32 // scratch charge density
 	rho0    []float32 // static background (NeutralizingBackground)
 	scratch []float32
+
+	// Intra-rank pipeline state: the worker pool, one private
+	// accumulator per pipeline block (allocated once, reused every
+	// step), the per-block push states, and the reusable buffer-pointer
+	// slice for the particle exchange.
+	pool    *pipe.Pool
+	pipeAcc []*accum.Array
+	blockSt []*push.BlockState
+	bufs    []*particle.Buffer
 }
 
 // Simulation is the top-level driver: it owns all ranks and advances
@@ -85,6 +95,16 @@ func New(cfg Config) (*Simulation, error) {
 		rk.sortWS = psort.NewWorkspace(d.G.NV())
 		rk.rho = make([]float32, d.G.NV())
 		rk.scratch = make([]float32, d.G.NV())
+		rk.pool = pipe.New(cfg.Workers)
+		rk.sortWS.SetPool(rk.pool)
+		if !cfg.UseReferencePusher {
+			rk.pipeAcc = make([]*accum.Array, pipe.NumBlocks)
+			rk.blockSt = make([]*push.BlockState, pipe.NumBlocks)
+			for b := range rk.pipeAcc {
+				rk.pipeAcc[b] = accum.New(d.G)
+				rk.blockSt[b] = new(push.BlockState)
+			}
+		}
 
 		for i, sc := range cfg.Species {
 			sp, err := species.New(sc.Name, sc.Q, sc.M, sc.SortInterval)
@@ -126,6 +146,10 @@ func New(cfg Config) (*Simulation, error) {
 				}
 			}
 			rk.Colliders = append(rk.Colliders, op)
+		}
+		rk.bufs = make([]*particle.Buffer, len(rk.Species))
+		for i, sp := range rk.Species {
+			rk.bufs[i] = sp.Buf
 		}
 		// Initial sort for locality.
 		for _, sp := range rk.Species {
@@ -224,27 +248,43 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 			op.Apply(d.G, sp.Buf, cfg.DT)
 		}
 	}
-	rk.Perf.Stop(perf.Sort)
+	rk.stopPar(perf.Sort)
 
-	// Particle advance and current deposition (the inner loop).
+	// Particle advance and current deposition (the inner loop). The
+	// pipelined path pushes pipe.NumBlocks contiguous blocks per species
+	// concurrently, each into its private accumulator, finishes the
+	// face-crossers serially, then reduces the block accumulators into
+	// the rank accumulator in fixed order — bit-identical for any
+	// worker count (see internal/pipe).
 	rk.Perf.Start(perf.Push)
-	rk.Acc.Clear()
-	for i, sp := range rk.Species {
-		if cfg.UseReferencePusher {
+	if cfg.UseReferencePusher {
+		rk.Acc.Clear()
+		for i, sp := range rk.Species {
 			rk.Kernels[i].AdvancePRef(sp.Buf, f)
-		} else {
-			rk.Kernels[i].AdvanceP(sp.Buf)
 		}
+	} else {
+		accum.ClearAll(rk.pool, rk.pipeAcc)
+		for i, sp := range rk.Species {
+			k := rk.Kernels[i]
+			buf := sp.Buf
+			n := buf.N()
+			rk.pool.Run(pipe.NumBlocks, func(b int) {
+				bs := rk.blockSt[b]
+				bs.Reset()
+				lo, hi := pipe.BlockBounds(n, pipe.NumBlocks, b)
+				k.AdvanceBlock(buf, lo, hi, rk.pipeAcc[b], bs)
+			})
+			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)
+		}
+		// Overwrites rk.Acc, so no per-step Clear is needed; immigrants
+		// finishing their move deposit on top during the exchange.
+		accum.Reduce(rk.pool, rk.Acc, rk.pipeAcc)
 	}
-	rk.Perf.Stop(perf.Push)
+	rk.stopPar(perf.Push)
 
 	// Migrate boundary-crossing particles.
 	rk.Perf.Start(perf.Comm)
-	bufs := make([]*particle.Buffer, len(rk.Species))
-	for i, sp := range rk.Species {
-		bufs[i] = sp.Buf
-	}
-	d.ExchangeParticles(rk.Kernels, bufs)
+	d.ExchangeParticles(rk.Kernels, rk.bufs)
 	rk.Perf.Stop(perf.Comm)
 
 	// Reduce currents onto the mesh (plus the antenna drive).
@@ -253,9 +293,9 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	for _, a := range cfg.Lasers {
 		a.Inject(f, tNow, cfg.DT)
 	}
-	rk.Acc.Unload(f, cfg.DT)
+	rk.Acc.UnloadPar(rk.pool, f, cfg.DT)
 	f.FoldGhostJ()
-	rk.Perf.Stop(perf.Field)
+	rk.stopPar(perf.Field)
 
 	rk.Perf.Start(perf.Comm)
 	d.ExchangeJ()
@@ -263,22 +303,22 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 
 	// Field advance: B half, E full, B half.
 	rk.Perf.Start(perf.Field)
-	f.AdvanceB(cfg.DT, 0.5)
-	rk.Perf.Stop(perf.Field)
+	f.AdvanceBPar(rk.pool, cfg.DT, 0.5)
+	rk.stopPar(perf.Field)
 	rk.Perf.Start(perf.Comm)
 	d.ExchangeGhostB()
 	rk.Perf.Stop(perf.Comm)
 
 	rk.Perf.Start(perf.Field)
-	f.AdvanceE(cfg.DT)
-	rk.Perf.Stop(perf.Field)
+	f.AdvanceEPar(rk.pool, cfg.DT)
+	rk.stopPar(perf.Field)
 	rk.Perf.Start(perf.Comm)
 	d.ExchangeGhostE()
 	rk.Perf.Stop(perf.Comm)
 
 	rk.Perf.Start(perf.Field)
-	f.AdvanceB(cfg.DT, 0.5)
-	rk.Perf.Stop(perf.Field)
+	f.AdvanceBPar(rk.pool, cfg.DT, 0.5)
+	rk.stopPar(perf.Field)
 	rk.Perf.Start(perf.Comm)
 	d.ExchangeGhostB()
 	rk.Perf.Stop(perf.Comm)
@@ -293,8 +333,16 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	// Refresh interpolators for the next step (and for any field
 	// diagnostics run between steps).
 	rk.Perf.Start(perf.Field)
-	rk.IP.Load(f)
-	rk.Perf.Stop(perf.Field)
+	rk.IP.LoadPar(rk.pool, f)
+	rk.stopPar(perf.Field)
+}
+
+// stopPar stops a section's timer and folds the worker-pool busy/wall
+// stats of the parallel regions that ran inside it into the breakdown.
+func (rk *Rank) stopPar(s perf.Section) {
+	rk.Perf.Stop(s)
+	busy, wall := rk.pool.TakeStats()
+	rk.Perf.AddParallel(s, busy, wall)
 }
 
 // clean runs the multi-rank-safe Marder passes.

@@ -21,10 +21,13 @@ type JSONConfig struct {
 	Steps int `json:"steps"`
 
 	// Common knobs.
-	Ranks int     `json:"ranks,omitempty"`
-	PPC   int     `json:"ppc,omitempty"`
-	NX    int     `json:"nx,omitempty"`
-	N0    float64 `json:"n0,omitempty"` // density, ncr units
+	Ranks int `json:"ranks,omitempty"`
+	// Workers is the intra-rank pipeline worker count (0 = one per
+	// available CPU per rank, capped at the pipeline block count).
+	Workers int     `json:"workers,omitempty"`
+	PPC     int     `json:"ppc,omitempty"`
+	NX      int     `json:"nx,omitempty"`
+	N0      float64 `json:"n0,omitempty"` // density, ncr units
 
 	// Generic plasma knobs.
 	Uth   float64 `json:"uth,omitempty"`   // thermal momentum spread
@@ -134,5 +137,9 @@ func (c JSONConfig) Build() (Deck, error) {
 			Interval: def(c.CollisionInterval, 10),
 		}
 	}
+	if c.Workers < 0 {
+		return Deck{}, fmt.Errorf("deck: negative workers %d", c.Workers)
+	}
+	d.Cfg.Workers = c.Workers
 	return d, err
 }

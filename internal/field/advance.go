@@ -1,11 +1,21 @@
 package field
 
+import "govpic/internal/pipe"
+
 // AdvanceB advances cB by frac·dt using the curl of E:
 // ∂B/∂t = −∇×E. VPIC calls this twice per step with frac = 0.5 so that
 // B is known at both half-integer and integer times. Boundary-owned E
 // values (index N+1) must be current (call UpdateGhostE after the last
 // E change).
 func (f *Fields) AdvanceB(dt, frac float64) {
+	f.AdvanceBPar(nil, dt, frac)
+}
+
+// AdvanceBPar is AdvanceB with the interior z-plane sweep split over a
+// worker pool. B faces are written per cell from E values that do not
+// change during the sweep, so the z partition is race-free and
+// bit-identical to the serial sweep for any worker count.
+func (f *Fields) AdvanceBPar(p *pipe.Pool, dt, frac float64) {
 	g := f.G
 	sx, sy, _ := g.Strides()
 	sxy := sx * sy
@@ -15,17 +25,19 @@ func (f *Fields) AdvanceB(dt, frac float64) {
 	px := float32(h / g.DX)
 	ex, ey, ez := f.Ex, f.Ey, f.Ez
 	bx, by, bz := f.Bx, f.By, f.Bz
-	for iz := 1; iz <= g.NZ; iz++ {
-		for iy := 1; iy <= g.NY; iy++ {
-			v := g.Voxel(1, iy, iz)
-			for ix := 1; ix <= g.NX; ix++ {
-				bx[v] -= py*(ez[v+sx]-ez[v]) - pz*(ey[v+sxy]-ey[v])
-				by[v] -= pz*(ex[v+sxy]-ex[v]) - px*(ez[v+1]-ez[v])
-				bz[v] -= px*(ey[v+1]-ey[v]) - py*(ex[v+sx]-ex[v])
-				v++
+	p.Range(g.NZ, func(lo, hi int) {
+		for iz := lo + 1; iz <= hi; iz++ {
+			for iy := 1; iy <= g.NY; iy++ {
+				v := g.Voxel(1, iy, iz)
+				for ix := 1; ix <= g.NX; ix++ {
+					bx[v] -= py*(ez[v+sx]-ez[v]) - pz*(ey[v+sxy]-ey[v])
+					by[v] -= pz*(ex[v+sxy]-ex[v]) - px*(ez[v+1]-ez[v])
+					bz[v] -= px*(ey[v+1]-ey[v]) - py*(ex[v+sx]-ex[v])
+					v++
+				}
 			}
 		}
-	}
+	})
 	f.UpdateGhostB()
 }
 
@@ -33,6 +45,12 @@ func (f *Fields) AdvanceB(dt, frac float64) {
 // current J: ∂E/∂t = ∇×B − J. Mur faces are advanced with their
 // characteristic update; conductor faces keep tangential E = 0.
 func (f *Fields) AdvanceE(dt float64) {
+	f.AdvanceEPar(nil, dt)
+}
+
+// AdvanceEPar is AdvanceE with the interior z-plane sweep split over a
+// worker pool (see AdvanceBPar for why this is exact).
+func (f *Fields) AdvanceEPar(p *pipe.Pool, dt float64) {
 	if f.mur != nil {
 		f.mur.snapshot(f)
 	}
@@ -46,17 +64,19 @@ func (f *Fields) AdvanceE(dt float64) {
 	ex, ey, ez := f.Ex, f.Ey, f.Ez
 	bx, by, bz := f.Bx, f.By, f.Bz
 	jx, jy, jz := f.Jx, f.Jy, f.Jz
-	for iz := 1; iz <= g.NZ; iz++ {
-		for iy := 1; iy <= g.NY; iy++ {
-			v := g.Voxel(1, iy, iz)
-			for ix := 1; ix <= g.NX; ix++ {
-				ex[v] += py*(bz[v]-bz[v-sx]) - pz*(by[v]-by[v-sxy]) - cj*jx[v]
-				ey[v] += pz*(bx[v]-bx[v-sxy]) - px*(bz[v]-bz[v-1]) - cj*jy[v]
-				ez[v] += px*(by[v]-by[v-1]) - py*(bx[v]-bx[v-sx]) - cj*jz[v]
-				v++
+	p.Range(g.NZ, func(lo, hi int) {
+		for iz := lo + 1; iz <= hi; iz++ {
+			for iy := 1; iy <= g.NY; iy++ {
+				v := g.Voxel(1, iy, iz)
+				for ix := 1; ix <= g.NX; ix++ {
+					ex[v] += py*(bz[v]-bz[v-sx]) - pz*(by[v]-by[v-sxy]) - cj*jx[v]
+					ey[v] += pz*(bx[v]-bx[v-sxy]) - px*(bz[v]-bz[v-1]) - cj*jy[v]
+					ez[v] += px*(by[v]-by[v-1]) - py*(bx[v]-bx[v-sx]) - cj*jz[v]
+					v++
+				}
 			}
 		}
-	}
+	})
 	f.UpdateGhostE()
 	if f.mur != nil {
 		f.mur.apply(f, dt)

@@ -23,6 +23,7 @@ package interp
 import (
 	"govpic/internal/field"
 	"govpic/internal/grid"
+	"govpic/internal/pipe"
 )
 
 // Coeffs is the 18-coefficient interpolator of one voxel.
@@ -51,12 +52,27 @@ func NewTable(g *grid.Grid) *Table {
 // interior cells are loaded; ghost-cell interpolators stay zero and must
 // never be consumed (particles live in interior cells).
 func (t *Table) Load(f *field.Fields) {
+	t.LoadPar(nil, f)
+}
+
+// LoadPar is Load with the z-plane sweep split over a worker pool; each
+// voxel's coefficients are computed independently from the (read-only)
+// fields, so the partition is exact for any worker count.
+func (t *Table) LoadPar(p *pipe.Pool, f *field.Fields) {
 	g := t.G
 	sx, sy, _ := g.Strides()
 	sxy := sx * sy
 	ex, ey, ez := f.Ex, f.Ey, f.Ez
 	bx, by, bz := f.Bx, f.By, f.Bz
-	for iz := 1; iz <= g.NZ; iz++ {
+	p.Range(g.NZ, func(lo, hi int) {
+		t.loadPlanes(lo+1, hi, sx, sxy, ex, ey, ez, bx, by, bz)
+	})
+}
+
+// loadPlanes fills the interpolators of z planes [izLo, izHi].
+func (t *Table) loadPlanes(izLo, izHi, sx, sxy int, ex, ey, ez, bx, by, bz []float32) {
+	g := t.G
+	for iz := izLo; iz <= izHi; iz++ {
 		for iy := 1; iy <= g.NY; iy++ {
 			v := g.Voxel(1, iy, iz)
 			for ix := 1; ix <= g.NX; ix++ {

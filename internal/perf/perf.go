@@ -45,6 +45,12 @@ type Breakdown struct {
 	accum   [NumSections]time.Duration
 	started [NumSections]time.Time
 	running [NumSections]bool
+
+	// Pipeline (intra-rank worker) accounting: summed worker-busy time
+	// and parallel-region wall time per section, fed by the pipe pool
+	// via AddParallel.
+	pbusy [NumSections]time.Duration
+	pwall [NumSections]time.Duration
 }
 
 // Start begins timing a section.
@@ -91,6 +97,35 @@ func (b *Breakdown) Fraction(s Section) float64 {
 	return float64(b.accum[s]) / float64(tot)
 }
 
+// AddParallel records one or more pipeline-parallel regions inside a
+// section: busy is the summed worker-busy time, wall the regions'
+// elapsed wall time (as returned by pipe.Pool.TakeStats).
+func (b *Breakdown) AddParallel(s Section, busy, wall time.Duration) {
+	b.pbusy[s] += busy
+	b.pwall[s] += wall
+}
+
+// Concurrency returns the average number of busy workers over the
+// section's pipeline-parallel regions (busy/wall), or 0 when the
+// section ran no parallel regions. Divide by the configured worker
+// count for a [0,1] utilization.
+func (b *Breakdown) Concurrency(s Section) float64 {
+	if b.pwall[s] == 0 {
+		return 0
+	}
+	return float64(b.pbusy[s]) / float64(b.pwall[s])
+}
+
+// ParallelShare returns the fraction of the section's wall time spent
+// inside pipeline-parallel regions — how much of the section the worker
+// pool could actually attack.
+func (b *Breakdown) ParallelShare(s Section) float64 {
+	if b.accum[s] == 0 {
+		return 0
+	}
+	return float64(b.pwall[s]) / float64(b.accum[s])
+}
+
 // Reset zeroes all accumulators.
 func (b *Breakdown) Reset() { *b = Breakdown{} }
 
@@ -99,16 +134,24 @@ func (b *Breakdown) Reset() { *b = Breakdown{} }
 func (b *Breakdown) Merge(o *Breakdown) {
 	for s := Section(0); s < NumSections; s++ {
 		b.accum[s] += o.accum[s]
+		b.pbusy[s] += o.pbusy[s]
+		b.pwall[s] += o.pwall[s]
 	}
 }
 
-// Report formats the breakdown as aligned text rows.
+// Report formats the breakdown as aligned text rows. The workers column
+// is the average pipeline concurrency of each section's parallel
+// regions (blank when a section has none).
 func (b *Breakdown) Report() string {
 	var sb strings.Builder
 	tot := b.Total()
-	fmt.Fprintf(&sb, "%-8s %12s %8s\n", "section", "time", "share")
+	fmt.Fprintf(&sb, "%-8s %12s %8s %8s\n", "section", "time", "share", "workers")
 	for s := Section(0); s < NumSections; s++ {
-		fmt.Fprintf(&sb, "%-8s %12v %7.1f%%\n", s, b.accum[s].Round(time.Microsecond), 100*b.Fraction(s))
+		w := ""
+		if c := b.Concurrency(s); c > 0 {
+			w = fmt.Sprintf("%.2f", c)
+		}
+		fmt.Fprintf(&sb, "%-8s %12v %7.1f%% %8s\n", s, b.accum[s].Round(time.Microsecond), 100*b.Fraction(s), w)
 	}
 	fmt.Fprintf(&sb, "%-8s %12v\n", "total", tot.Round(time.Microsecond))
 	return sb.String()

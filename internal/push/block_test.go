@@ -1,0 +1,193 @@
+package push
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"govpic/internal/accum"
+	"govpic/internal/pipe"
+)
+
+// blockFixture allocates the per-block accumulators and states the
+// pipelined path needs.
+func blockFixture(r *rig) (accs []*accum.Array, blocks []*BlockState) {
+	accs = make([]*accum.Array, pipe.NumBlocks)
+	blocks = make([]*BlockState, pipe.NumBlocks)
+	for b := range accs {
+		accs[b] = accum.New(r.g)
+		blocks[b] = new(BlockState)
+	}
+	return
+}
+
+// runBlockedStep is the pipelined push of one step: concurrent block
+// advance into private accumulators, serial mover completion, reduction
+// into the kernel accumulator.
+func runBlockedStep(k *Kernel, r *rig, p *pipe.Pool, accs []*accum.Array, blocks []*BlockState) {
+	accum.ClearAll(p, accs)
+	n := r.buf.N()
+	p.Run(pipe.NumBlocks, func(b int) {
+		bs := blocks[b]
+		bs.Reset()
+		lo, hi := pipe.BlockBounds(n, pipe.NumBlocks, b)
+		k.AdvanceBlock(r.buf, lo, hi, accs[b], bs)
+	})
+	k.FinishBlocks(r.buf, blocks, accs)
+	accum.Reduce(p, k.Acc, accs)
+}
+
+// TestBlockedPushMatchesSerial drives the same hot plasma through the
+// serial AdvanceP and the block-pipelined path for several worker
+// counts: particle state must match bitwise (the block decomposition
+// performs the identical arithmetic in the identical order), statistics
+// counters must match exactly, and the reduced current must match the
+// serial deposition to float32 rounding (association across block
+// boundaries differs).
+func TestBlockedPushMatchesSerial(t *testing.T) {
+	mk := func() (*rig, *Kernel) {
+		r := newRig(6, 5, 4, 0.5)
+		r.smoothFields(0.3)
+		r.loadRandom(4000, 0.5, 99) // hot: plenty of face crossings
+		k := r.kernel(-1, 1, 0.24)
+		k.Bound[0] = Absorb // exercise the loss path too
+		return r, k
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		rs, ks := mk()
+		rb, kb := mk()
+		pool := pipe.New(w)
+		accs, blocks := blockFixture(rb)
+
+		for s := 0; s < 5; s++ {
+			rs.acc.Clear()
+			ks.AdvanceP(rs.buf)
+			runBlockedStep(kb, rb, pool, accs, blocks)
+		}
+
+		if rs.buf.N() != rb.buf.N() {
+			t.Fatalf("W=%d: particle counts diverged: %d vs %d", w, rs.buf.N(), rb.buf.N())
+		}
+		for i := range rs.buf.P {
+			if rs.buf.P[i] != rb.buf.P[i] {
+				t.Fatalf("W=%d: particle %d differs:\nserial  %+v\nblocked %+v",
+					w, i, rs.buf.P[i], rb.buf.P[i])
+			}
+		}
+		if ks.NPushed != kb.NPushed || ks.NMoved != kb.NMoved ||
+			ks.NSeg != kb.NSeg || ks.NLost != kb.NLost || ks.ELost != kb.ELost {
+			t.Fatalf("W=%d: counters diverged: serial {%d %d %d %d %g} blocked {%d %d %d %d %g}",
+				w, ks.NPushed, ks.NMoved, ks.NSeg, ks.NLost, ks.ELost,
+				kb.NPushed, kb.NMoved, kb.NSeg, kb.NLost, kb.ELost)
+		}
+
+		// Currents: same deposits, possibly different association.
+		var maxDiff, scale float64
+		for v := range rs.acc.A {
+			a, b := &rs.acc.A[v], &rb.acc.A[v]
+			for j := 0; j < 4; j++ {
+				for _, pair := range [][2]float32{{a.JX[j], b.JX[j]}, {a.JY[j], b.JY[j]}, {a.JZ[j], b.JZ[j]}} {
+					if d := math.Abs(float64(pair[0] - pair[1])); d > maxDiff {
+						maxDiff = d
+					}
+					if s := math.Abs(float64(pair[0])); s > scale {
+						scale = s
+					}
+				}
+			}
+		}
+		if maxDiff > 1e-5*(scale+1) {
+			t.Fatalf("W=%d: reduced current differs from serial by %g (scale %g)", w, maxDiff, scale)
+		}
+	}
+}
+
+// benchRig builds a push-heavy fixture shared by the serial/blocked
+// benchmarks.
+func benchRig() (*rig, *Kernel) {
+	r := newRig(16, 8, 8, 0.5)
+	r.smoothFields(0.1)
+	r.loadRandom(100000, 0.1, 42)
+	return r, r.kernel(-1, 1, 0.1)
+}
+
+// BenchmarkAdvanceSerial is the pre-pipeline baseline: the plain
+// AdvanceP sweep with a single shared accumulator.
+func BenchmarkAdvanceSerial(b *testing.B) {
+	r, k := benchRig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.acc.Clear()
+		k.AdvanceP(r.buf)
+	}
+	b.ReportMetric(float64(r.buf.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpart/s")
+}
+
+// BenchmarkAdvanceBlocked measures the pipelined path (block advance +
+// serial finish + reduction) at each worker count; W1 vs the serial
+// benchmark above isolates the overhead of the block machinery itself.
+func BenchmarkAdvanceBlocked(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			r, k := benchRig()
+			pool := pipe.New(w)
+			accs, blocks := blockFixture(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runBlockedStep(k, r, pool, accs, blocks)
+			}
+			b.ReportMetric(float64(r.buf.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpart/s")
+		})
+	}
+}
+
+// TestBlockCountersSumToSerial verifies the per-block statistics of one
+// pipelined step add up to exactly the serial kernel's counters — the
+// invariant that makes the pipelined flop accounting trustworthy.
+func TestBlockCountersSumToSerial(t *testing.T) {
+	mk := func() (*rig, *Kernel) {
+		r := newRig(6, 5, 4, 0.5)
+		r.smoothFields(0.3)
+		r.loadRandom(3000, 0.5, 17)
+		k := r.kernel(-1, 1, 0.24)
+		k.Bound[4] = Absorb // ZLo: some particles are lost
+		return r, k
+	}
+	rs, ks := mk()
+	rb, kb := mk()
+	rs.acc.Clear()
+	ks.AdvanceP(rs.buf)
+	accs, blocks := blockFixture(rb)
+	runBlockedStep(kb, rb, pipe.New(4), accs, blocks)
+
+	var sum BlockState
+	used := 0
+	for _, bs := range blocks {
+		sum.NPushed += bs.NPushed
+		sum.NMoved += bs.NMoved
+		sum.NSeg += bs.NSeg
+		sum.NLost += bs.NLost
+		sum.ELost += bs.ELost
+		if bs.NPushed > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("only %d blocks pushed particles; partition not exercised", used)
+	}
+	if sum.NPushed != ks.NPushed || sum.NMoved != ks.NMoved || sum.NSeg != ks.NSeg || sum.NLost != ks.NLost {
+		t.Fatalf("block sums {%d %d %d %d} != serial {%d %d %d %d}",
+			sum.NPushed, sum.NMoved, sum.NSeg, sum.NLost,
+			ks.NPushed, ks.NMoved, ks.NSeg, ks.NLost)
+	}
+	if ks.NLost == 0 {
+		t.Fatal("test did not exercise the absorb path")
+	}
+	// The kernel totals are the merged block stats.
+	if kb.NPushed != sum.NPushed || kb.NSeg != sum.NSeg || kb.NLost != sum.NLost || kb.NMoved != sum.NMoved {
+		t.Fatalf("kernel totals disagree with block sums")
+	}
+	if math.Abs(sum.ELost-ks.ELost) > 1e-12*math.Abs(ks.ELost) {
+		t.Fatalf("ELost: block sum %g vs serial %g", sum.ELost, ks.ELost)
+	}
+}

@@ -12,6 +12,16 @@
 // add/sub/mul as one flop and a divide or square root as one flop — the
 // convention of the paper's community — so measured particles/s convert
 // directly into a flop rate.
+//
+// The kernel exposes two execution styles. AdvanceP is the serial path:
+// one sweep over the buffer depositing into the kernel's accumulator.
+// AdvanceBlock/FinishBlocks is the pipelined path mirroring the paper's
+// SPE decomposition: contiguous particle blocks are pushed concurrently,
+// each scattering into a private accumulator and recording (not
+// finishing) its face-crossing particles; FinishBlocks then completes
+// every recorded mover serially in globally descending index order —
+// the exact order the serial path uses — so the particle state it
+// produces is bitwise identical to AdvanceP for any worker count.
 package push
 
 import (
@@ -83,6 +93,26 @@ type Outgoing struct {
 	DispX, DispY, DispZ float32
 }
 
+// BlockState holds one pipeline block's private push state: the movers
+// recorded during the concurrent phase and the statistics counters of
+// everything the block pushed. Kernel totals are the sum over blocks
+// (MergeStats), so per-block counters add up to exactly the serial
+// values.
+type BlockState struct {
+	Movers  []particle.Mover
+	NMoved  int64
+	NSeg    int64
+	NLost   int64
+	NPushed int64
+	ELost   float64
+}
+
+// Reset clears the movers and zeroes the counters, keeping capacity.
+func (b *BlockState) Reset() {
+	b.Movers = b.Movers[:0]
+	b.NMoved, b.NSeg, b.NLost, b.NPushed, b.ELost = 0, 0, 0, 0, 0
+}
+
 // Kernel advances one species' particles on one rank's domain.
 type Kernel struct {
 	G   *grid.Grid
@@ -93,7 +123,9 @@ type Kernel struct {
 	// (XLo,XHi,YLo,YHi,ZLo,ZHi).
 	Bound [6]Action
 	// Out collects migrating particles per face; the domain layer drains
-	// it each step.
+	// it each step. Movers are always finished serially (AdvanceP and
+	// FinishBlocks both run them in descending index order), so these
+	// buffers fill in the same deterministic order on every path.
 	Out [6][]Outgoing
 	// reflux holds per-face re-emission parameters when EnableReflux has
 	// switched a face to a thermally refluxing wall.
@@ -104,14 +136,14 @@ type Kernel struct {
 	cdtdx2  float32 // 2·dt/DX: offset displacement per unit velocity
 	cdtdy2  float32
 	cdtdz2  float32
-	mass    float64 // species mass (me units), for energy accounting
-	maxSeg  int     // safety bound on segments per particle per step
-	movers  []particle.Mover
-	NMoved  int64   // particles needing move_p (statistics)
-	NSeg    int64   // total segments processed
-	NLost   int64   // particles absorbed at boundaries
-	NPushed int64   // total particles advanced
-	ELost   float64 // kinetic energy removed with absorbed particles
+	mass    float64    // species mass (me units), for energy accounting
+	maxSeg  int        // safety bound on segments per particle per step
+	serial  BlockState // reusable state for the serial AdvanceP path
+	NMoved  int64      // particles needing move_p (statistics)
+	NSeg    int64      // total segments processed
+	NLost   int64      // particles absorbed at boundaries
+	NPushed int64      // total particles advanced
+	ELost   float64    // kinetic energy removed with absorbed particles
 }
 
 // NewKernel builds a push kernel. q and m are the species charge and
@@ -140,6 +172,15 @@ func (k *Kernel) ResetStats() {
 	k.NMoved, k.NSeg, k.NLost, k.NPushed, k.ELost = 0, 0, 0, 0, 0
 }
 
+// MergeStats folds one block's counters into the kernel totals.
+func (k *Kernel) MergeStats(bs *BlockState) {
+	k.NMoved += bs.NMoved
+	k.NSeg += bs.NSeg
+	k.NLost += bs.NLost
+	k.NPushed += bs.NPushed
+	k.ELost += bs.ELost
+}
+
 // ClearOutgoing drops all buffered migrating particles (the domain
 // layer calls this after draining them).
 func (k *Kernel) ClearOutgoing() {
@@ -154,14 +195,66 @@ func (k *Kernel) ClearOutgoing() {
 // finished by the move machinery, honoring the per-face boundary
 // actions. The interpolator table must be freshly loaded.
 func (k *Kernel) AdvanceP(buf *particle.Buffer) {
+	bs := &k.serial
+	bs.Reset()
+	k.advanceRange(buf, 0, buf.N(), k.Acc.A, bs)
+	bs.NMoved += int64(len(bs.Movers))
+
+	// Finish boundary-crossing particles in descending index order so
+	// that swap-removals never disturb an unprocessed mover.
+	for m := len(bs.Movers) - 1; m >= 0; m-- {
+		mv := bs.Movers[m]
+		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, k.Acc.A, bs)
+	}
+	k.MergeStats(bs)
+}
+
+// AdvanceBlock pushes particles [lo, hi) of buf — one pipeline block —
+// scattering in-cell current into acc and recording (not finishing)
+// face-crossing particles in bs.Movers. It never reorders the buffer,
+// reads only shared immutable state (interpolators, grid), and writes
+// only p[lo:hi], acc and bs, so disjoint blocks with private acc/bs are
+// safe to run concurrently. Call FinishBlocks afterwards to complete
+// the recorded movers.
+func (k *Kernel) AdvanceBlock(buf *particle.Buffer, lo, hi int, acc *accum.Array, bs *BlockState) {
+	k.advanceRange(buf, lo, hi, acc.A, bs)
+}
+
+// FinishBlocks completes the movers recorded by AdvanceBlock: blocks
+// are processed last to first and each block's movers last to first,
+// i.e. globally descending particle index — the same sequence of moveP
+// calls the serial AdvanceP makes, so swap-removals stay safe and the
+// resulting particle state is bitwise identical to the serial path.
+// Each block's segment currents deposit into its own accumulator
+// (accs[b]) and its counters land in blocks[b] before being merged into
+// the kernel totals.
+func (k *Kernel) FinishBlocks(buf *particle.Buffer, blocks []*BlockState, accs []*accum.Array) {
+	for b := len(blocks) - 1; b >= 0; b-- {
+		bs := blocks[b]
+		bs.NMoved += int64(len(bs.Movers))
+		a := accs[b].A
+		for m := len(bs.Movers) - 1; m >= 0; m-- {
+			mv := bs.Movers[m]
+			k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, a, bs)
+		}
+	}
+	for _, bs := range blocks {
+		k.MergeStats(bs)
+	}
+}
+
+// advanceRange is the momentum-update + in-cell-deposition sweep over
+// p[lo:hi], shared by the serial and pipelined paths. Face-crossing
+// particles are appended to bs.Movers (in ascending index order) for
+// the caller to finish.
+func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a []accum.Cell, bs *BlockState) {
 	p := buf.P
 	ip := k.IP.C
 	qdt2mc := k.qdt2mc
 	cdx, cdy, cdz := k.cdtdx2, k.cdtdy2, k.cdtdz2
-	k.movers = k.movers[:0]
-	k.NPushed += int64(len(p))
+	bs.NPushed += int64(hi - lo)
 
-	for i := range p {
+	for i := lo; i < hi; i++ {
 		pt := &p[i]
 		dx, dy, dz := pt.Dx, pt.Dy, pt.Dz
 		c := &ip[pt.Voxel]
@@ -210,31 +303,23 @@ func (k *Kernel) AdvanceP(buf *particle.Buffer) {
 		if nx <= 1 && nx >= -1 && ny <= 1 && ny >= -1 && nz <= 1 && nz >= -1 {
 			// In-cell fast path: scatter the whole-step current (67) and
 			// store the new offsets (3, counted in the displacement sum).
-			k.scatter(int(pt.Voxel), pt.W, dx, dy, dz, ddx, ddy, ddz)
+			k.scatter(a, int(pt.Voxel), pt.W, dx, dy, dz, ddx, ddy, ddz)
 			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
 			continue
 		}
-		k.movers = append(k.movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
-	}
-	k.NMoved += int64(len(k.movers))
-
-	// Finish boundary-crossing particles in descending index order so
-	// that swap-removals never disturb an unprocessed mover.
-	for m := len(k.movers) - 1; m >= 0; m-- {
-		mv := k.movers[m]
-		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ)
+		bs.Movers = append(bs.Movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
 	}
 }
 
 // scatter deposits the charge-conserving current of one in-cell segment
 // with half-displacements (hx,hy,hz) = (ddx,ddy,ddz)/2 starting from
-// offsets (dx,dy,dz), into the accumulator cell v.
-func (k *Kernel) scatter(v int, w, dx, dy, dz, ddx, ddy, ddz float32) {
+// offsets (dx,dy,dz), into cell v of accumulator a.
+func (k *Kernel) scatter(ac []accum.Cell, v int, w, dx, dy, dz, ddx, ddy, ddz float32) {
 	qw := k.q * w
 	hx, hy, hz := 0.5*ddx, 0.5*ddy, 0.5*ddz
 	mx, my, mz := dx+hx, dy+hy, dz+hz // midpoint offsets
 	v5 := qw * hx * hy * hz * (1.0 / 3.0)
-	a := &k.Acc.A[v]
+	a := &ac[v]
 
 	qh := qw * hx
 	a.JX[0] += qh*(1-my)*(1-mz) + v5
@@ -256,10 +341,11 @@ func (k *Kernel) scatter(v int, w, dx, dy, dz, ddx, ddy, ddz float32) {
 }
 
 // moveP finishes a boundary-crossing particle: it splits the remaining
-// displacement at each cell face, deposits per-segment current, and
-// applies the face action when the particle leaves the local interior.
-// The particle at index i may be removed from buf (Absorb/Migrate).
-func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32) {
+// displacement at each cell face, deposits per-segment current into ac,
+// and applies the face action when the particle leaves the local
+// interior. The particle at index i may be removed from buf
+// (Absorb/Migrate). Statistics land in bs.
+func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, ac []accum.Cell, bs *BlockState) {
 	g := k.G
 	sx, sy, _ := g.Strides()
 	strides := [3]int{1, sx, sx * sy}
@@ -267,7 +353,7 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32) {
 	pt := &buf.P[i]
 
 	for seg := 0; seg < k.maxSeg; seg++ {
-		k.NSeg++
+		bs.NSeg++
 		// Fraction of the remaining displacement to the first face.
 		s := float32(1)
 		axis := -1
@@ -283,7 +369,7 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32) {
 		}
 
 		segx, segy, segz := s*ddx, s*ddy, s*ddz
-		k.scatter(int(pt.Voxel), pt.W, pt.Dx, pt.Dy, pt.Dz, segx, segy, segz)
+		k.scatter(ac, int(pt.Voxel), pt.W, pt.Dx, pt.Dy, pt.Dz, segx, segy, segz)
 		pt.Dx += segx
 		pt.Dy += segy
 		pt.Dz += segz
@@ -322,8 +408,8 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32) {
 				pt.Ux, pt.Uy, pt.Uz = drawReflux(k.reflux[face], axis, float32(-dir))
 				rem = [3]float32{}
 			case Absorb:
-				k.NLost++
-				k.ELost += k.kinetic(pt)
+				bs.NLost++
+				bs.ELost += k.kinetic(pt)
 				buf.RemoveSwap(i)
 				return
 			case Migrate:
@@ -343,8 +429,8 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32) {
 	}
 	// A particle needing more than maxSeg segments indicates dt far above
 	// CFL or corrupted state; absorb it rather than corrupt memory.
-	k.NLost++
-	k.ELost += k.kinetic(pt)
+	bs.NLost++
+	bs.ELost += k.kinetic(pt)
 	buf.RemoveSwap(i)
 }
 
@@ -357,12 +443,16 @@ func (k *Kernel) kinetic(pt *particle.Particle) float64 {
 
 // FinishMove continues a migrated-in particle: the caller has already
 // remapped Voxel to the local entry cell. Only the move (deposition)
-// remains; the momentum kick happened on the sending rank.
+// remains; the momentum kick happened on the sending rank. Deposition
+// goes to the kernel's own accumulator, which on the pipelined path
+// already holds the reduced block sum by exchange time.
 func (k *Kernel) FinishMove(buf *particle.Buffer, in Outgoing) {
 	buf.Append(in.P)
 	i := buf.N() - 1
 	if in.DispX != 0 || in.DispY != 0 || in.DispZ != 0 {
-		k.moveP(buf, i, in.DispX, in.DispY, in.DispZ)
+		var bs BlockState
+		k.moveP(buf, i, in.DispX, in.DispY, in.DispZ, k.Acc.A, &bs)
+		k.MergeStats(&bs)
 	}
 }
 

@@ -21,8 +21,9 @@ func (k *Kernel) AdvancePRef(buf *particle.Buffer, f *field.Fields) {
 	sxy := sx * sy
 	qdt2mc := float64(k.qdt2mc)
 	p := buf.P
-	k.movers = k.movers[:0]
-	k.NPushed += int64(len(p))
+	bs := &k.serial
+	bs.Reset()
+	bs.NPushed += int64(len(p))
 
 	for i := range p {
 		pt := &p[i]
@@ -64,17 +65,18 @@ func (k *Kernel) AdvancePRef(buf *particle.Buffer, f *field.Fields) {
 		ny := pt.Dy + ddy
 		nz := pt.Dz + ddz
 		if nx <= 1 && nx >= -1 && ny <= 1 && ny >= -1 && nz <= 1 && nz >= -1 {
-			k.scatter(v, pt.W, pt.Dx, pt.Dy, pt.Dz, ddx, ddy, ddz)
+			k.scatter(k.Acc.A, v, pt.W, pt.Dx, pt.Dy, pt.Dz, ddx, ddy, ddz)
 			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
 			continue
 		}
-		k.movers = append(k.movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
+		bs.Movers = append(bs.Movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
 	}
-	k.NMoved += int64(len(k.movers))
-	for m := len(k.movers) - 1; m >= 0; m-- {
-		mv := k.movers[m]
-		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ)
+	bs.NMoved += int64(len(bs.Movers))
+	for m := len(bs.Movers) - 1; m >= 0; m-- {
+		mv := bs.Movers[m]
+		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, k.Acc.A, bs)
 	}
+	k.MergeStats(bs)
 }
 
 // trilinearE interpolates an E component from its four edges: w00 at

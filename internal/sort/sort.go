@@ -4,20 +4,42 @@
 // accumulator reads that cache (and on Roadrunner, SPE local-store DMA)
 // efficiency depends on. The out-of-place pass is stable, preserving
 // intra-cell ordering.
+//
+// With a worker pool attached (SetPool), the count and scatter passes
+// run per pipeline block: each block counts its contiguous particle
+// range privately, a serial prefix over (voxel, block) assigns disjoint
+// output windows, and the blocks scatter concurrently. Because block
+// order equals input order, the result is the same stable permutation
+// the serial pass produces, bit for bit, for any worker count.
 package sort
 
-import "govpic/internal/particle"
+import (
+	"govpic/internal/particle"
+	"govpic/internal/pipe"
+)
+
+// parallelMin is the buffer size below which the blocked sort is not
+// worth the extra prefix pass and the serial path is used instead. The
+// two paths produce identical output, so the threshold only affects
+// speed.
+const parallelMin = 4096
 
 // Workspace holds the reusable buffers of the counting sort.
 type Workspace struct {
 	counts  []int32
 	scratch []particle.Particle
+	pool    *pipe.Pool
+	bcounts []int32 // NumBlocks × (nv+1) per-block count/offset matrix
 }
 
 // NewWorkspace sizes a workspace for grids up to nv voxels.
 func NewWorkspace(nv int) *Workspace {
 	return &Workspace{counts: make([]int32, nv+1)}
 }
+
+// SetPool attaches a worker pool used to parallelize the count and
+// scatter passes. A nil pool (the default) keeps the sort serial.
+func (w *Workspace) SetPool(p *pipe.Pool) { w.pool = p }
 
 // ByVoxel sorts buf's particles by ascending voxel index. nv must be at
 // least 1 + the largest voxel index present.
@@ -26,6 +48,22 @@ func (w *Workspace) ByVoxel(buf *particle.Buffer, nv int) {
 	if len(p) < 2 {
 		return
 	}
+	if cap(w.scratch) < len(p) {
+		w.scratch = make([]particle.Particle, len(p))
+	}
+	out := w.scratch[:len(p)]
+	if w.pool.Workers() > 1 && len(p) >= parallelMin {
+		w.sortBlocked(p, out, nv)
+	} else {
+		w.sortSerial(p, out, nv)
+	}
+	w.pool.Range(len(p), func(lo, hi int) {
+		copy(p[lo:hi], out[lo:hi])
+	})
+}
+
+// sortSerial is the classic single-threaded counting sort into out.
+func (w *Workspace) sortSerial(p, out []particle.Particle, nv int) {
 	if len(w.counts) < nv+1 {
 		w.counts = make([]int32, nv+1)
 	}
@@ -42,16 +80,56 @@ func (w *Workspace) ByVoxel(buf *particle.Buffer, nv int) {
 		counts[v] = sum
 		sum += c
 	}
-	if cap(w.scratch) < len(p) {
-		w.scratch = make([]particle.Particle, len(p))
-	}
-	out := w.scratch[:len(p)]
 	for i := range p {
 		v := p[i].Voxel
 		out[counts[v]] = p[i]
 		counts[v]++
 	}
-	copy(p, out)
+}
+
+// sortBlocked runs the count and scatter passes per pipeline block.
+func (w *Workspace) sortBlocked(p, out []particle.Particle, nv int) {
+	const nb = pipe.NumBlocks
+	stride := nv + 1
+	if len(w.bcounts) < nb*stride {
+		w.bcounts = make([]int32, nb*stride)
+	}
+	bc := w.bcounts[: nb*stride : nb*stride]
+
+	// Count pass: each block histograms its contiguous particle range.
+	w.pool.Run(nb, func(b int) {
+		c := bc[b*stride : (b+1)*stride]
+		for i := range c {
+			c[i] = 0
+		}
+		lo, hi := pipe.BlockBounds(len(p), nb, b)
+		for i := lo; i < hi; i++ {
+			c[p[i].Voxel]++
+		}
+	})
+
+	// Serial prefix over (voxel, block): block b's particles of voxel v
+	// land after blocks 0..b−1's, preserving input order (stability).
+	var sum int32
+	for v := 0; v < nv; v++ {
+		for b := 0; b < nb; b++ {
+			idx := b*stride + v
+			c := bc[idx]
+			bc[idx] = sum
+			sum += c
+		}
+	}
+
+	// Scatter pass: output windows are disjoint by construction.
+	w.pool.Run(nb, func(b int) {
+		c := bc[b*stride : (b+1)*stride]
+		lo, hi := pipe.BlockBounds(len(p), nb, b)
+		for i := lo; i < hi; i++ {
+			v := p[i].Voxel
+			out[c[v]] = p[i]
+			c[v]++
+		}
+	})
 }
 
 // IsSorted reports whether the particles are in ascending voxel order.

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"govpic/internal/particle"
+	"govpic/internal/pipe"
 	"govpic/internal/rng"
 )
 
@@ -110,6 +111,29 @@ func TestSortIdempotent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBlockedSortMatchesSerial(t *testing.T) {
+	// Large enough to clear the parallelMin threshold.
+	const n, nv = 3 * parallelMin, 509
+	for _, workers := range []int{2, 4, 8} {
+		serial := randomBuffer(n, nv, 11)
+		blocked := randomBuffer(n, nv, 11)
+		ws := NewWorkspace(nv)
+		ws.ByVoxel(serial, nv)
+		wb := NewWorkspace(nv)
+		wb.SetPool(pipe.New(workers))
+		wb.ByVoxel(blocked, nv)
+		if !IsSorted(blocked.P) {
+			t.Fatalf("W=%d: blocked sort output unsorted", workers)
+		}
+		for i := range serial.P {
+			if serial.P[i] != blocked.P[i] {
+				t.Fatalf("W=%d: slot %d differs: serial %+v blocked %+v",
+					workers, i, serial.P[i], blocked.P[i])
+			}
+		}
 	}
 }
 
