@@ -167,14 +167,11 @@ func main() {
 		fmt.Printf("wrote %s\n", *summary)
 	}
 	if *ckpt != "" {
-		f, err := os.Create(*ckpt)
-		if err != nil {
+		// Atomic (temp + fsync + rename): a crash mid-write can never
+		// corrupt a previous checkpoint at the same path.
+		if err := output.WriteFileAtomic(*ckpt, sim.Checkpoint); err != nil {
 			log.Fatal(err)
 		}
-		if err := sim.Checkpoint(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 		fmt.Printf("checkpoint written to %s\n", *ckpt)
 	}
 }

@@ -1,0 +1,83 @@
+// Command vpicd is the simulation job service: it accepts deck configs
+// (single runs or parameter sweeps) over HTTP, queues them with bounded
+// backpressure, executes them on a runner pool with periodic bit-exact
+// checkpoints, and resumes interrupted jobs from its spool directory on
+// restart. SIGTERM/SIGINT checkpoint every running job before exit, so
+// a rolling restart loses no work.
+//
+// Usage:
+//
+//	vpicd -addr :8970 -spool /var/lib/vpicd
+//
+// Then, e.g.:
+//
+//	curl -X POST :8970/v1/jobs -d '{"deck":{"deck":"lpi","steps":4000},"sweep":{"a0":[0.01,0.02,0.03]}}'
+//	curl :8970/v1/jobs/job-000001
+//	curl :8970/v1/jobs/job-000001/result
+//	curl :8970/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"govpic/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8970", "HTTP listen address")
+		spool     = flag.String("spool", "vpicd-spool", "durable job spool directory")
+		runners   = flag.Int("runners", 1, "concurrent job executors")
+		queue     = flag.Int("queue", 16, "job queue depth (full queue answers 429)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "steps between crash-safety checkpoints")
+		energy    = flag.Int("energy-every", 10, "steps between energy history samples")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		SpoolDir:        *spool,
+		Runners:         *runners,
+		QueueDepth:      *queue,
+		CheckpointEvery: *ckptEvery,
+		EnergyEvery:     *energy,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("vpicd: listening on %s (spool %s, %d runners, queue %d)",
+			*addr, *spool, *runners, *queue)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("vpicd: shutdown requested; checkpointing running jobs")
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vpicd: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("vpicd: close: %v", err)
+	}
+	log.Printf("vpicd: all jobs checkpointed; exiting")
+}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -16,11 +18,19 @@ import (
 // the RNG is only used at load time). The configuration itself is not
 // stored; Restore validates that the receiving simulation's geometry
 // matches.
+//
+// Format v2 appends a little-endian CRC32 (IEEE) of every preceding
+// byte (magic included), so Restore can reject truncated or bit-flipped
+// files instead of silently resuming from garbage. v1 files (no
+// checksum) are still read.
 
-const checkpointMagic = "GOVPIC-CKPT-1\n"
+const (
+	checkpointMagic   = "GOVPIC-CKPT-2\n"
+	checkpointMagicV1 = "GOVPIC-CKPT-1\n"
+)
 
 type cpWriter struct {
-	w   *bufio.Writer
+	w   io.Writer
 	err error
 	buf [8]byte
 }
@@ -48,7 +58,7 @@ func (c *cpWriter) f32s(a []float32) {
 }
 
 type cpReader struct {
-	r   *bufio.Reader
+	r   io.Reader
 	err error
 	buf [8]byte
 }
@@ -77,13 +87,16 @@ func (c *cpReader) f32s(a []float32) {
 	}
 }
 
-// Checkpoint writes the full dynamic state to w.
+// Checkpoint writes the full dynamic state to w in format v2 (with the
+// trailing CRC32).
 func (s *Simulation) Checkpoint(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(checkpointMagic); err != nil {
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, h)
+	if _, err := io.WriteString(mw, checkpointMagic); err != nil {
 		return err
 	}
-	c := &cpWriter{w: bw}
+	c := &cpWriter{w: mw}
 	c.u64(uint64(s.Cfg.NX))
 	c.u64(uint64(s.Cfg.NY))
 	c.u64(uint64(s.Cfg.NZ))
@@ -115,27 +128,47 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	if c.err != nil {
 		return c.err
 	}
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], h.Sum32())
+	if _, err := bw.Write(tr[:]); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
 // Restore loads a checkpoint written by a simulation with the same
 // geometry, rank count and species list, replacing all dynamic state.
+// v2 files are checksum-verified; a truncated or bit-flipped file is
+// rejected with an error, in which case the simulation's dynamic state
+// is undefined and the caller should rebuild or re-restore before
+// stepping.
 func (s *Simulation) Restore(r io.Reader) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(checkpointMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return err
+		return fmt.Errorf("core: checkpoint truncated: %w", err)
 	}
-	if string(magic) != checkpointMagic {
+	var h hash.Hash32
+	switch string(magic) {
+	case checkpointMagic:
+		h = crc32.NewIEEE()
+		h.Write(magic)
+	case checkpointMagicV1:
+		// Legacy format: no checksum to verify.
+	default:
 		return fmt.Errorf("core: not a checkpoint (bad magic)")
 	}
-	c := &cpReader{r: br}
+	var src io.Reader = br
+	if h != nil {
+		src = io.TeeReader(br, h)
+	}
+	c := &cpReader{r: src}
 	nx, ny, nz := c.u64(), c.u64(), c.u64()
 	nRanks, nSpecies := c.u64(), c.u64()
 	step := c.u64()
 	tme := c.f64()
 	if c.err != nil {
-		return c.err
+		return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
 	}
 	if int(nx) != s.Cfg.NX || int(ny) != s.Cfg.NY || int(nz) != s.Cfg.NZ ||
 		int(nRanks) != len(s.Ranks) || int(nSpecies) != len(s.Cfg.Species) {
@@ -175,7 +208,17 @@ func (s *Simulation) Restore(r io.Reader) error {
 		}
 	}
 	if c.err != nil {
-		return c.err
+		return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
+	}
+	if h != nil {
+		want := h.Sum32()
+		var tr [4]byte
+		if _, err := io.ReadFull(br, tr[:]); err != nil {
+			return fmt.Errorf("core: checkpoint truncated (missing CRC trailer): %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(tr[:]); got != want {
+			return fmt.Errorf("core: checkpoint corrupt: CRC %08x in file, %08x computed", got, want)
+		}
 	}
 	s.step = int(step)
 	s.time = tme

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ckptFixture runs a small plasma a few steps and returns its v2
+// checkpoint bytes together with the config that produced them.
+func ckptFixture(t *testing.T) (Config, []byte) {
+	t.Helper()
+	cfg := periodicPlasma(16, 0.2, 0.05, 8, 1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, buf.Bytes()
+}
+
+func TestCheckpointCRCDetectsBitFlip(t *testing.T) {
+	cfg, ckpt := ckptFixture(t)
+	// Flip one bit inside the field data (past the 14-byte magic and the
+	// 56-byte header) — structurally valid, numerically corrupt.
+	flipped := append([]byte(nil), ckpt...)
+	flipped[len("GOVPIC-CKPT-2\n")+56+32] ^= 0x10
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Restore(bytes.NewReader(flipped))
+	if err == nil {
+		t.Fatal("restore accepted a bit-flipped checkpoint")
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("err = %v, want a CRC mismatch", err)
+	}
+}
+
+func TestCheckpointRejectsTruncated(t *testing.T) {
+	cfg, ckpt := ckptFixture(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(ckpt) * 3 / 4, len(ckpt) - 2, 7} {
+		err := s.Restore(bytes.NewReader(ckpt[:cut]))
+		if err == nil {
+			t.Fatalf("restore accepted a checkpoint truncated to %d/%d bytes", cut, len(ckpt))
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncation at %d: err = %v, want mention of truncation", cut, err)
+		}
+	}
+}
+
+func TestCheckpointReadsV1(t *testing.T) {
+	cfg, ckpt := ckptFixture(t)
+	// A v1 file is the v2 payload under the old magic, without the CRC
+	// trailer.
+	v1 := append([]byte("GOVPIC-CKPT-1\n"), ckpt[len("GOVPIC-CKPT-2\n"):len(ckpt)-4]...)
+
+	restore := func(data []byte) EnergySampleTotals {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(5)
+		e := s.Energy()
+		return EnergySampleTotals{e.Total, e.EField, e.BField}
+	}
+	if got, want := restore(v1), restore(ckpt); got != want {
+		t.Fatalf("v1 restore diverged from v2: %+v vs %+v", got, want)
+	}
+}
+
+// EnergySampleTotals is a comparable digest of an energy sample.
+type EnergySampleTotals struct{ Total, EField, BField float64 }
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	cfg, ckpt := ckptFixture(t)
+
+	// Different global cell count.
+	wide := cfg
+	wide.NX = 32
+	s, err := New(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(bytes.NewReader(ckpt)); err == nil {
+		t.Fatal("accepted checkpoint with different nx")
+	} else if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("nx mismatch: err = %v", err)
+	}
+
+	// Different rank count, same global grid.
+	split := cfg
+	split.NRanks = 2
+	s2, err := New(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(bytes.NewReader(ckpt)); err == nil {
+		t.Fatal("accepted checkpoint with different rank count")
+	} else if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("rank mismatch: err = %v", err)
+	}
+}

@@ -68,6 +68,15 @@ func (c JSONConfig) Build() (Deck, error) {
 	if c.Steps <= 0 {
 		return Deck{}, fmt.Errorf("deck: steps must be positive, got %d", c.Steps)
 	}
+	// Zero means "use the default"; negatives would otherwise reach the
+	// grid constructor and panic.
+	if c.NX < 0 || c.PPC < 0 || c.Ranks < 0 || c.TransverseCells < 0 {
+		return Deck{}, fmt.Errorf("deck: sizes must be positive: nx=%d ppc=%d ranks=%d transverse_cells=%d",
+			c.NX, c.PPC, c.Ranks, c.TransverseCells)
+	}
+	if c.N0 < 0 || c.Uth < 0 {
+		return Deck{}, fmt.Errorf("deck: densities and temperatures must be non-negative: n0=%g uth=%g", c.N0, c.Uth)
+	}
 	def := func(v, d int) int {
 		if v == 0 {
 			return d

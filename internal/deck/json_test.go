@@ -1,0 +1,70 @@
+package deck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromJSONMalformed(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{`,
+		`{"deck": "thermal", "steps": }`,
+		`not json at all`,
+	} {
+		if _, _, err := FromJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("FromJSON(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestFromJSONUnknownField(t *testing.T) {
+	if _, _, err := FromJSON(strings.NewReader(`{"deck":"thermal","steps":10,"typo_knob":3}`)); err == nil {
+		t.Error("accepted unknown field")
+	}
+}
+
+func TestFromJSONUnknownDeck(t *testing.T) {
+	_, _, err := FromJSON(strings.NewReader(`{"deck":"warp-drive","steps":10}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown deck") {
+		t.Errorf("err = %v, want unknown deck", err)
+	}
+}
+
+func TestFromJSONNonPositiveSizes(t *testing.T) {
+	// None of these may panic (negative sizes used to reach the grid
+	// constructor), and all must error.
+	for _, bad := range []string{
+		`{"deck":"thermal","steps":0}`,
+		`{"deck":"thermal","steps":-5}`,
+		`{"deck":"thermal","steps":10,"nx":-4}`,
+		`{"deck":"thermal","steps":10,"ppc":-1}`,
+		`{"deck":"thermal","steps":10,"ranks":-2}`,
+		`{"deck":"thermal","steps":10,"workers":-1}`,
+		`{"deck":"thermal","steps":10,"n0":-0.2}`,
+		`{"deck":"thermal","steps":10,"uth":-0.05}`,
+		`{"deck":"lpi","steps":10,"a0":0.02,"transverse_cells":-8}`,
+	} {
+		d, _, err := FromJSON(strings.NewReader(bad))
+		if err == nil {
+			t.Errorf("FromJSON(%q) = deck %q, want error", bad, d.Name)
+		}
+	}
+}
+
+func TestFromJSONLPINeedsDrive(t *testing.T) {
+	_, _, err := FromJSON(strings.NewReader(`{"deck":"lpi","steps":10}`))
+	if err == nil || !strings.Contains(err.Error(), "a0") {
+		t.Errorf("err = %v, want missing-a0 error", err)
+	}
+}
+
+func TestFromJSONGoodConfig(t *testing.T) {
+	d, steps, err := FromJSON(strings.NewReader(`{"deck":"thermal","steps":25,"nx":8,"ppc":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 25 || d.Name != "thermal" || d.Cfg.NX != 8 {
+		t.Fatalf("got steps=%d deck=%q nx=%d", steps, d.Name, d.Cfg.NX)
+	}
+}

@@ -1,0 +1,45 @@
+package output
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file via a temporary sibling, fsyncs it, and
+// renames it into place, so a crash mid-write can never leave a
+// truncated or corrupt file at path — the previous contents survive
+// until the rename commits the new ones. The write callback receives
+// the temporary file's writer; any error (from the callback, the sync,
+// or the rename) aborts and removes the temporary.
+//
+// Checkpoint writers (cmd/vpic -checkpoint, the vpicd spool) share this
+// helper so every durable artifact has the same all-or-nothing
+// guarantee.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("output: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("output: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("output: atomic write %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("output: atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package server implements vpicd's service tier: a bounded FIFO job
+// queue with explicit backpressure, a runner pool that drives
+// core.Simulation, a crash-safe spool of checkpoints and results, and
+// the HTTP API (submit/status/result/cancel plus health and metrics).
+// It turns the repository's one-shot CLIs into the parameter-study
+// service the paper's reflectivity campaign implies: submit a deck (or
+// a sweep over deck parameters), watch progress, survive restarts.
+package server
+
+import (
+	"time"
+
+	"govpic/internal/deck"
+	"govpic/internal/diag"
+	"govpic/internal/output"
+	"govpic/internal/perf"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a job in this state will never run again.
+func (s State) terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCancelled
+}
+
+// Progress is the live view of a running job, updated after every step.
+type Progress struct {
+	Step      int `json:"step"`
+	Steps     int `json:"steps"`
+	Particles int `json:"particles"`
+	// RateMPartS is the particle-advance rate since the job (re)started,
+	// in millions of particle-steps per second — the paper's headline
+	// unit.
+	RateMPartS float64 `json:"rate_mpart_s"`
+}
+
+// Job is one enqueued deck run. The exported fields are the wire and
+// spool representation; runtime-only state (cancel func, counters)
+// lives unexported and is guarded by the server mutex.
+type Job struct {
+	ID        string             `json:"id"`
+	Spec      deck.JSONConfig    `json:"spec"`
+	State     State              `json:"state"`
+	Error     string             `json:"error,omitempty"`
+	Submitted time.Time          `json:"submitted"`
+	Progress  Progress           `json:"progress"`
+	Perf      []perf.SectionStat `json:"perf,omitempty"`
+
+	cancel    func() // non-nil while running
+	preempted bool   // cancellation is a shutdown preemption, not a user cancel
+	pushed    int64  // particle advances so far (metrics)
+}
+
+// Result is the completed-job artifact: the run summary plus the full
+// energy history, and a CRC32 of the final serialized dynamic state
+// (fields + particles) so bit-exact reproducibility across preemptions
+// is checkable from the API alone.
+type Result struct {
+	Summary  output.Summary      `json:"summary"`
+	History  []diag.EnergySample `json:"history"`
+	StateCRC string              `json:"state_crc"`
+}

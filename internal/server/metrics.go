@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"govpic/internal/perf"
+)
+
+// handleMetrics exposes the service counters in the conventional
+// line-oriented text exposition: queue state, job lifecycle counts,
+// aggregate particle-advance totals and rates, and the per-section
+// kernel timings summed over all jobs this process has touched.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var running, queued int
+	var pushed int64
+	var rate float64
+	perfSec := map[string]float64{}
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateRunning:
+			running++
+			rate += j.Progress.RateMPartS
+		case StateQueued:
+			queued++
+		}
+		pushed += j.pushed
+		for _, st := range j.Perf {
+			perfSec[st.Name] += st.Seconds
+		}
+	}
+	lines := []string{
+		"vpicd_up 1",
+		fmt.Sprintf("vpicd_uptime_seconds %.3f", time.Since(s.started).Seconds()),
+		fmt.Sprintf("vpicd_queue_depth %d", s.queue.depth()),
+		fmt.Sprintf("vpicd_queue_capacity %d", cap(s.queue.ch)),
+		fmt.Sprintf("vpicd_jobs_queued %d", queued),
+		fmt.Sprintf("vpicd_jobs_running %d", running),
+		fmt.Sprintf("vpicd_jobs_completed_total %d", s.completed),
+		fmt.Sprintf("vpicd_jobs_failed_total %d", s.failed),
+		fmt.Sprintf("vpicd_jobs_cancelled_total %d", s.cancelled),
+		fmt.Sprintf("vpicd_particles_advanced_total %d", pushed),
+		fmt.Sprintf("vpicd_particle_advance_rate_mpart_s %.6g", rate),
+	}
+	s.mu.Unlock()
+
+	// Deterministic section order (the perf package's own ordering).
+	names := make([]string, 0, len(perfSec))
+	for name := range perfSec {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		return sectionOrder(names[a]) < sectionOrder(names[b])
+	})
+	for _, name := range names {
+		lines = append(lines, fmt.Sprintf("vpicd_perf_seconds{section=%q} %.6f", name, perfSec[name]))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// sectionOrder maps a section name to its perf.Section index (unknown
+// names sort last).
+func sectionOrder(name string) int {
+	for sec := perf.Section(0); sec < perf.NumSections; sec++ {
+		if sec.String() == name {
+			return int(sec)
+		}
+	}
+	return int(perf.NumSections)
+}

@@ -1,0 +1,39 @@
+package server
+
+// fifo is the bounded job queue. Admission control (the 429 path) needs
+// depth/capacity visibility, and shutdown needs a close that lets the
+// runners drain naturally; a channel under a thin type provides both.
+type fifo struct {
+	ch chan *Job
+}
+
+func newFifo(depth int) *fifo {
+	return &fifo{ch: make(chan *Job, depth)}
+}
+
+// tryPush enqueues without blocking; false means the queue is full and
+// the caller should apply backpressure.
+func (f *fifo) tryPush(j *Job) bool {
+	select {
+	case f.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// pop blocks until a job is available or the queue is closed and
+// drained.
+func (f *fifo) pop() (*Job, bool) {
+	j, ok := <-f.ch
+	return j, ok
+}
+
+// free returns the remaining admission capacity.
+func (f *fifo) free() int { return cap(f.ch) - len(f.ch) }
+
+// depth returns the number of enqueued jobs.
+func (f *fifo) depth() int { return len(f.ch) }
+
+// close stops admissions; runners drain what remains.
+func (f *fifo) close() { close(f.ch) }

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"govpic/internal/core"
+	"govpic/internal/diag"
+	"govpic/internal/output"
+	"govpic/internal/perf"
+)
+
+// runnerLoop is one executor: it drains the queue until close.
+func (s *Server) runnerLoop() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob owns one job's full execution lifecycle and state transitions.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.State.terminal() || s.closed {
+		// Cancelled while queued, or the server is draining for shutdown:
+		// leave the on-disk state untouched so a successor picks it up.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.State = StateRunning
+	s.spool.writeJob(j)
+	s.mu.Unlock()
+	defer cancel()
+
+	err := s.execute(ctx, j)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.State = StateCompleted
+		s.completed++
+		s.cfg.Logf("vpicd: %s completed (%d steps)", j.ID, j.Progress.Step)
+	case errors.Is(err, context.Canceled) && j.preempted:
+		// Shutdown preemption: stays "running" on disk, resumes on restart.
+		s.cfg.Logf("vpicd: %s preempted at step %d (checkpointed)", j.ID, j.Progress.Step)
+	case errors.Is(err, context.Canceled):
+		j.State = StateCancelled
+		s.cancelled++
+		s.cfg.Logf("vpicd: %s cancelled at step %d (checkpointed)", j.ID, j.Progress.Step)
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+		s.failed++
+		s.cfg.Logf("vpicd: %s failed: %v", j.ID, err)
+	}
+	s.spool.writeJob(j)
+}
+
+// execute builds the job's simulation (resuming from the spooled
+// checkpoint when one exists), runs it to completion with periodic
+// checkpoints and energy samples, and writes the result artifact. A
+// cancellation checkpoints before returning so no progress is lost.
+func (s *Server) execute(ctx context.Context, j *Job) error {
+	d, err := j.Spec.Build()
+	if err != nil {
+		return err
+	}
+	sim, err := d.New()
+	if err != nil {
+		return err
+	}
+	hist := &diag.History{}
+
+	// Resume from the latest checkpoint if the spool has one. A corrupt
+	// or truncated checkpoint (CRC-rejected) falls back to a fresh start:
+	// determinism makes re-running from step 0 merely slower, not wrong.
+	if f, oerr := os.Open(s.spool.checkpointPath(j.ID)); oerr == nil {
+		rerr := sim.Restore(f)
+		f.Close()
+		if rerr != nil {
+			s.cfg.Logf("vpicd: %s checkpoint unusable (%v); restarting from step 0", j.ID, rerr)
+			if sim, err = d.New(); err != nil {
+				return err
+			}
+		} else {
+			samples, herr := s.spool.readHistory(j.ID)
+			if herr != nil {
+				s.cfg.Logf("vpicd: %s history unreadable (%v); restarting from step 0", j.ID, herr)
+				if sim, err = d.New(); err != nil {
+					return err
+				}
+			} else {
+				for _, smp := range samples {
+					if smp.Step <= sim.StepCount() {
+						hist.Samples = append(hist.Samples, smp)
+					}
+				}
+				s.cfg.Logf("vpicd: %s resuming at step %d/%d", j.ID, sim.StepCount(), j.Spec.Steps)
+			}
+		}
+	}
+	if sim.StepCount() == 0 {
+		hist.Samples = hist.Samples[:0]
+		hist.Add(sim.Energy())
+	}
+
+	steps := j.Spec.Steps
+	every := s.cfg.EnergyEvery
+	ckptEvery := s.cfg.CheckpointEvery
+	wallStart := time.Now()
+	basePushed := sim.PushedParticles()
+	var ckptErr error
+
+	progress := func(step int) {
+		// The sampling rule depends only on the step number, so an
+		// interrupted run reproduces the reference history exactly.
+		if step%every == 0 || step == steps {
+			hist.Add(sim.Energy())
+		}
+		pushed := sim.PushedParticles()
+		rate := perf.Rate(pushed-basePushed, time.Since(wallStart))
+		pb := sim.PerfBreakdown()
+		snap := pb.Snapshot()
+		s.mu.Lock()
+		j.Progress = Progress{
+			Step:       step,
+			Steps:      steps,
+			Particles:  sim.TotalParticles(),
+			RateMPartS: rate / 1e6,
+		}
+		j.Perf = snap
+		j.pushed = pushed
+		s.mu.Unlock()
+		if step%ckptEvery == 0 && step < steps && ckptErr == nil {
+			ckptErr = s.saveCheckpoint(j, sim, hist)
+		}
+	}
+
+	runErr := sim.RunContext(ctx, steps, progress)
+	if runErr != nil {
+		// Preemption or cancel: persist the exact stopping point first.
+		if err := s.saveCheckpoint(j, sim, hist); err != nil {
+			s.cfg.Logf("vpicd: %s checkpoint on cancel failed: %v", j.ID, err)
+		}
+		return runErr
+	}
+	if ckptErr != nil {
+		return fmt.Errorf("checkpoint failed: %w", ckptErr)
+	}
+
+	wall := time.Since(wallStart)
+	last := hist.Samples[len(hist.Samples)-1]
+	res := Result{
+		Summary: output.Summary{
+			Deck:      d.Name,
+			Steps:     sim.StepCount(),
+			Time:      sim.Time(),
+			Particles: sim.TotalParticles(),
+			Ranks:     d.Cfg.NRanks,
+			WallClock: wall.Seconds(), // this process's segment for resumed jobs
+			Rates: map[string]float64{
+				"Mpart_per_s": perf.Rate(sim.PushedParticles()-basePushed, wall) / 1e6,
+			},
+			Energy: map[string]float64{
+				"total": last.Total,
+				"field": last.EField + last.BField,
+			},
+			Notes: d.Notes,
+		},
+		History:  hist.Samples,
+		StateCRC: stateCRC(sim),
+	}
+	return s.spool.writeResult(j.ID, res)
+}
+
+// saveCheckpoint writes the checkpoint/history pair atomically. The
+// checkpoint commits first; readHistory filtering (Step ≤ restored
+// step) makes a crash between the two renames harmless.
+func (s *Server) saveCheckpoint(j *Job, sim *core.Simulation, hist *diag.History) error {
+	if err := output.WriteFileAtomic(s.spool.checkpointPath(j.ID), func(w io.Writer) error {
+		return sim.Checkpoint(w)
+	}); err != nil {
+		return err
+	}
+	return s.spool.writeHistory(j.ID, hist.Samples)
+}
+
+// stateCRC fingerprints the full dynamic state (fields + particles) via
+// the checkpoint serialization — two runs agree iff they are bit-exact.
+func stateCRC(sim *core.Simulation) string {
+	h := crc32.NewIEEE()
+	if err := sim.Checkpoint(h); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%08x", h.Sum32())
+}

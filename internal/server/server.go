@@ -1,0 +1,353 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"govpic/internal/deck"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// SpoolDir is the durable job store; it is created if missing and
+	// rescanned for unfinished jobs on startup.
+	SpoolDir string
+	// Runners is the number of concurrent job executors (default 1 —
+	// each job already parallelizes over its ranks × workers).
+	Runners int
+	// QueueDepth bounds the FIFO of admitted-but-not-running jobs
+	// (default 16); a full queue answers 429 with Retry-After.
+	QueueDepth int
+	// CheckpointEvery is the crash-safety interval in steps (default 50).
+	CheckpointEvery int
+	// EnergyEvery is the energy-history sampling interval in steps
+	// (default 10). It is part of the result's identity: a sweep and its
+	// uninterrupted reference must use the same value to compare
+	// histories.
+	EnergyEvery int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Runners <= 0 {
+		c.Runners = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50
+	}
+	if c.EnergyEvery <= 0 {
+		c.EnergyEvery = 10
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the vpicd job service. Create with New, serve via Handler,
+// stop with Close (which checkpoint-preempts running jobs so a
+// successor process resumes them from the spool).
+type Server struct {
+	cfg   Config
+	spool spool
+	queue *fifo
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	nextID  int
+	closed  bool
+	started time.Time
+
+	// lifetime counters (this process; reset on restart)
+	completed, failed, cancelled int64
+
+	wg sync.WaitGroup
+}
+
+// New builds a server over a spool directory, recovers unfinished jobs
+// (queued jobs re-enqueue; interrupted running jobs resume from their
+// last checkpoint), and starts the runner pool.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	sp, err := newSpool(cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		spool:   sp,
+		jobs:    make(map[string]*Job),
+		nextID:  1,
+		started: time.Now(),
+	}
+	recovered, err := sp.scan()
+	if err != nil {
+		return nil, err
+	}
+	var resume []*Job
+	for _, j := range recovered {
+		s.jobs[j.ID] = j
+		var n int
+		if _, err := fmt.Sscanf(j.ID, "job-%d", &n); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if !j.State.terminal() {
+			resume = append(resume, j)
+		}
+	}
+	// The queue must admit every recovered job even when the configured
+	// depth is smaller than the backlog a previous process accepted.
+	depth := cfg.QueueDepth
+	if len(resume) > depth {
+		depth = len(resume)
+	}
+	s.queue = newFifo(depth)
+	for _, j := range resume {
+		s.queue.tryPush(j)
+		s.cfg.Logf("vpicd: recovered %s (%s, step %d/%d)", j.ID, j.State, j.Progress.Step, j.Spec.Steps)
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		s.wg.Add(1)
+		go s.runnerLoop()
+	}
+	return s, nil
+}
+
+// Close preempts the service: running jobs are cancelled, checkpointed
+// and left in state "running" on disk so the next New on the same spool
+// resumes them; queued jobs stay queued on disk. Blocks until all
+// runners exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		if j.cancel != nil {
+			j.preempted = true
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.queue.close()
+	s.wg.Wait()
+	return nil
+}
+
+// --- HTTP API ---
+
+// SubmitRequest is the POST /v1/jobs body: one deck config, optionally
+// expanded over a parameter sweep into one job per combination.
+type SubmitRequest struct {
+	Deck  deck.JSONConfig      `json:"deck"`
+	Sweep map[string][]float64 `json:"sweep,omitempty"`
+}
+
+// JobRef locates one admitted job.
+type JobRef struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// SubmitResponse lists the admitted jobs in sweep-expansion order.
+type SubmitResponse struct {
+	Jobs []JobRef `json:"jobs"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	specs, err := req.Deck.Expand(req.Sweep)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate every expanded config up front so a sweep is admitted
+	// all-or-nothing: no partial campaigns.
+	for i, spec := range specs {
+		if _, err := spec.Build(); err != nil {
+			writeError(w, http.StatusBadRequest, "sweep member %d: %v", i, err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if s.queue.free() < len(specs) {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests,
+			"queue full: %d slots free, %d jobs submitted", s.queue.free(), len(specs))
+		return
+	}
+	resp := SubmitResponse{}
+	for _, spec := range specs {
+		j := &Job{
+			ID:        fmt.Sprintf("job-%06d", s.nextID),
+			Spec:      spec,
+			State:     StateQueued,
+			Submitted: time.Now().UTC(),
+			Progress:  Progress{Steps: spec.Steps},
+		}
+		s.nextID++
+		if err := s.spool.writeJob(j); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "spool write failed: %v", err)
+			return
+		}
+		s.jobs[j.ID] = j
+		s.queue.tryPush(j) // cannot fail: free() checked under the same lock
+		resp.Jobs = append(resp.Jobs, JobRef{ID: j.ID, URL: "/v1/jobs/" + j.ID})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		cp := *j
+		list = append(list, &cp)
+	}
+	s.mu.Unlock()
+	// Stable order for humans and scripts alike.
+	sort.Slice(list, func(a, b int) bool { return list[a].ID < list[b].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var cp Job
+	if ok {
+		cp = *j
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, &cp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	state := StateQueued
+	if ok {
+		state = j.State
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if state != StateCompleted {
+		writeError(w, http.StatusConflict, "job %s is %s, not completed", id, state)
+		return
+	}
+	f, err := os.Open(s.spool.resultPath(id))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "result unavailable: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	io.Copy(w, f)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if j.State.terminal() {
+		state := j.State
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %s already %s", id, state)
+		return
+	}
+	if j.cancel != nil {
+		// Running: the runner checkpoints, then marks it cancelled.
+		j.cancel()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+		return
+	}
+	// Still queued: retire it in place; the runner skips it on pop.
+	j.State = StateCancelled
+	s.cancelled++
+	s.spool.writeJob(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	closed := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if closed {
+		status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"uptime_s": time.Since(s.started).Seconds(),
+		"jobs":     n,
+	})
+}

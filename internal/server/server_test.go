@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"govpic/internal/deck"
+)
+
+// smallThermal is a deck sized so a job takes long enough to observe
+// mid-run (hundreds of ms) yet completes quickly.
+func smallThermal(steps int) deck.JSONConfig {
+	return deck.JSONConfig{Deck: "thermal", Steps: steps, NX: 32, PPC: 64, Workers: 1}
+}
+
+// logCollector captures server log lines for assertions.
+type logCollector struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCollector) logf(format string, args ...any) {
+	lc.mu.Lock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+	lc.mu.Unlock()
+}
+
+func (lc *logCollector) contains(substr string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, l := range lc.lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func startServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.SpoolDir = dir
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req SubmitRequest) (*http.Response, SubmitResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	return resp, sr
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Job {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		j := getStatus(t, ts, id)
+		if j.State == want {
+			return j
+		}
+		if j.State.terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Job{}
+}
+
+func getResult(t *testing.T, ts *httptest.Server, id string) Result {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d", id, resp.StatusCode)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkEndpoint(t *testing.T, ts *httptest.Server, path string, wantBody string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if wantBody != "" && !strings.Contains(buf.String(), wantBody) {
+		t.Fatalf("%s missing %q:\n%s", path, wantBody, buf.String())
+	}
+}
+
+func TestSubmitRunResult(t *testing.T) {
+	srv, ts := startServer(t, t.TempDir(), Config{CheckpointEvery: 20, EnergyEvery: 10})
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, sr := submit(t, ts, SubmitRequest{Deck: smallThermal(40)})
+	if resp.StatusCode != http.StatusAccepted || len(sr.Jobs) != 1 {
+		t.Fatalf("submit: HTTP %d, jobs %v", resp.StatusCode, sr.Jobs)
+	}
+	id := sr.Jobs[0].ID
+
+	checkEndpoint(t, ts, "/healthz", `"status": "ok"`)
+	waitState(t, ts, id, StateCompleted)
+	res := getResult(t, ts, id)
+	if res.Summary.Deck != "thermal" || res.Summary.Steps != 40 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+	// Samples at steps 0, 10, 20, 30, 40.
+	if len(res.History) != 5 {
+		t.Fatalf("history has %d samples, want 5", len(res.History))
+	}
+	if res.StateCRC == "" {
+		t.Fatal("result missing state CRC")
+	}
+	checkEndpoint(t, ts, "/metrics", "vpicd_jobs_completed_total 1")
+	checkEndpoint(t, ts, "/v1/jobs", id)
+
+	// Unknown job and premature-result errors.
+	if r, _ := http.Get(ts.URL + "/v1/jobs/job-999999"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d", r.StatusCode)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv, ts := startServer(t, t.TempDir(), Config{})
+	defer ts.Close()
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{not json`,
+		`{"deck":{"deck":"warp-drive","steps":10}}`,
+		`{"deck":{"deck":"thermal","steps":10},"sweep":{"bogus":[1]}}`,
+		`{"deck":{"deck":"thermal","steps":10},"unknown_field":1}`,
+		`{"deck":{"deck":"thermal","steps":10,"nx":-4}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestBackpressureAndCancel(t *testing.T) {
+	srv, ts := startServer(t, t.TempDir(), Config{Runners: 1, QueueDepth: 1, CheckpointEvery: 1000})
+	defer ts.Close()
+	defer srv.Close()
+
+	// A long job occupies the single runner...
+	_, srA := submit(t, ts, SubmitRequest{Deck: smallThermal(100000)})
+	waitState(t, ts, srA.Jobs[0].ID, StateRunning)
+	// ...a second fills the one queue slot...
+	respB, srB := submit(t, ts, SubmitRequest{Deck: smallThermal(100000)})
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: HTTP %d", respB.StatusCode)
+	}
+	// ...and the third must get explicit backpressure.
+	respC, _ := submit(t, ts, SubmitRequest{Deck: smallThermal(10)})
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: HTTP %d, want 429", respC.StatusCode)
+	}
+	if respC.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	checkEndpoint(t, ts, "/metrics", "vpicd_queue_depth 1")
+
+	// Cancel the queued job in place, then the running one (which
+	// checkpoints before it reports cancelled).
+	reqB, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+srB.Jobs[0].ID, nil)
+	if resp, err := http.DefaultClient.Do(reqB); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %v HTTP %d", err, resp.StatusCode)
+	}
+	reqA, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+srA.Jobs[0].ID, nil)
+	if resp, err := http.DefaultClient.Do(reqA); err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running: %v HTTP %d", err, resp.StatusCode)
+	}
+	j := waitState(t, ts, srA.Jobs[0].ID, StateCancelled)
+	if j.Progress.Step == 0 {
+		t.Fatal("cancelled job reports no progress")
+	}
+	if _, err := os.Stat(srv.spool.checkpointPath(srA.Jobs[0].ID)); err != nil {
+		t.Fatalf("cancelled job has no checkpoint: %v", err)
+	}
+	// Cancelling a terminal job conflicts.
+	if resp, _ := http.DefaultClient.Do(reqA); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestSweepPreemptResumeBitIdentical is the end-to-end acceptance test:
+// a sweep is submitted, the daemon is killed mid-run, a successor on
+// the same spool resumes from the checkpoints, and every job's energy
+// history and final dynamic state are bit-identical to an uninterrupted
+// reference run. Health and metrics endpoints respond throughout.
+func TestSweepPreemptResumeBitIdentical(t *testing.T) {
+	req := SubmitRequest{
+		Deck:  smallThermal(120),
+		Sweep: map[string][]float64{"uth": {0.03, 0.05}},
+	}
+	cfg := Config{Runners: 1, CheckpointEvery: 20, EnergyEvery: 20}
+
+	// Reference: uninterrupted run of the same sweep.
+	refSrv, refTS := startServer(t, t.TempDir(), cfg)
+	_, refSub := submit(t, refTS, req)
+	if len(refSub.Jobs) != 2 {
+		t.Fatalf("sweep expanded to %d jobs, want 2", len(refSub.Jobs))
+	}
+	refResults := map[string]Result{}
+	for _, jr := range refSub.Jobs {
+		waitState(t, refTS, jr.ID, StateCompleted)
+		refResults[jr.ID] = getResult(t, refTS, jr.ID)
+	}
+	refTS.Close()
+	refSrv.Close()
+
+	// Interrupted: same sweep, killed once the first job is past its
+	// first periodic checkpoint.
+	spoolDir := t.TempDir()
+	srvA, tsA := startServer(t, spoolDir, cfg)
+	_, sub := submit(t, tsA, req)
+	first := sub.Jobs[0].ID
+	checkEndpoint(t, tsA, "/healthz", `"status": "ok"`)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never got past its first checkpoint")
+		}
+		j := getStatus(t, tsA, first)
+		if j.State == StateCompleted {
+			t.Fatal("job completed before preemption; enlarge the test deck")
+		}
+		if j.State == StateRunning && j.Progress.Step >= 21 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	checkEndpoint(t, tsA, "/metrics", "vpicd_jobs_running 1")
+	tsA.Close()
+	srvA.Close() // preempts: checkpoints the running job, leaves it "running" on disk
+
+	// The spool must show an interrupted (not cancelled) job with a
+	// checkpoint to resume from.
+	var onDisk Job
+	b, err := os.ReadFile(srvA.spool.jobPath(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != StateRunning {
+		t.Fatalf("preempted job persisted as %s, want running", onDisk.State)
+	}
+	if _, err := os.Stat(srvA.spool.checkpointPath(first)); err != nil {
+		t.Fatalf("preempted job has no checkpoint: %v", err)
+	}
+
+	// Successor process on the same spool: recovers, resumes, completes.
+	lc := &logCollector{}
+	cfgB := cfg
+	cfgB.Logf = lc.logf
+	srvB, tsB := startServer(t, spoolDir, cfgB)
+	defer tsB.Close()
+	defer srvB.Close()
+	checkEndpoint(t, tsB, "/healthz", `"status": "ok"`)
+	for _, jr := range sub.Jobs {
+		waitState(t, tsB, jr.ID, StateCompleted)
+	}
+	if !lc.contains("resuming at step") {
+		t.Fatalf("successor did not resume from checkpoint; log: %v", lc.lines)
+	}
+	checkEndpoint(t, tsB, "/metrics", "vpicd_jobs_completed_total 2")
+
+	// Bit-identical: every sample of every job's energy history, and the
+	// CRC of the full final dynamic state (fields + particles).
+	for _, jr := range sub.Jobs {
+		got := getResult(t, tsB, jr.ID)
+		want := refResults[jr.ID]
+		if !reflect.DeepEqual(got.History, want.History) {
+			t.Fatalf("job %s: resumed energy history differs from uninterrupted run\ngot  %+v\nwant %+v",
+				jr.ID, got.History, want.History)
+		}
+		if got.StateCRC == "" || got.StateCRC != want.StateCRC {
+			t.Fatalf("job %s: final state CRC %q != reference %q", jr.ID, got.StateCRC, want.StateCRC)
+		}
+	}
+
+	// A third server on the same spool recovers only terminal jobs and
+	// starts cleanly (idempotent recovery).
+	srvC, tsC := startServer(t, spoolDir, cfg)
+	defer tsC.Close()
+	defer srvC.Close()
+	for _, jr := range sub.Jobs {
+		if j := getStatus(t, tsC, jr.ID); j.State != StateCompleted {
+			t.Fatalf("job %s lost its terminal state across restart: %s", jr.ID, j.State)
+		}
+	}
+}
