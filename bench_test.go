@@ -49,6 +49,8 @@ func BenchmarkE2InnerLoop(b *testing.B) {
 		row := r.Rows[0]
 		b.ReportMetric(row[2], "Mpart/s")
 		b.ReportMetric(row[4], "Gflop/s")
+		b.ReportMetric(row[5], "GB/s")
+		b.ReportMetric(row[6], "B/part")
 	}
 }
 
@@ -183,6 +185,18 @@ func BenchmarkAblationSort(b *testing.B) {
 		}
 		report(b, r)
 		b.ReportMetric(r.Rows[0][2], "speedup")
+	}
+}
+
+func BenchmarkAblationFusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationFusion(24, 64, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+		b.ReportMetric(r.Rows[0][2], "speedup")
+		b.ReportMetric(r.Rows[0][3], "fused-B/part")
 	}
 }
 

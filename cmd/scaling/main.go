@@ -69,6 +69,9 @@ func main() {
 		run("sort ablation", func() (experiments.Result, error) {
 			return experiments.AblationSort(*cells, *ppc, *steps)
 		})
+		run("fusion ablation", func() (experiments.Result, error) {
+			return experiments.AblationFusion(*cells, *ppc, *steps)
+		})
 	}
 }
 

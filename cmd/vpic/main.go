@@ -12,8 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"govpic/internal/deck"
@@ -38,6 +43,9 @@ func main() {
 		dump    = flag.String("dump", "", "write a binary field snapshot here at the end")
 		summary = flag.String("summary", "", "write a JSON run summary here at the end")
 		config  = flag.String("config", "", "JSON deck config (overrides -deck and sizing flags)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the step loop here")
+		memProf = flag.String("memprofile", "", "write a heap profile here at the end")
+		benchJS = flag.String("bench-json", "", "write a machine-readable benchmark record: a .json path, or a directory for BENCH_<date>.json")
 	)
 	flag.Parse()
 
@@ -85,6 +93,16 @@ func main() {
 
 	var hist diag.History
 	hist.Add(sim.Energy())
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
 	wallStart := time.Now()
 	for s := 0; s < *steps; s++ {
 		sim.Step()
@@ -93,6 +111,21 @@ func main() {
 		}
 	}
 	wall := time.Since(wallStart)
+	if *cpuProf != "" {
+		fmt.Printf("cpu profile covers the %d-step loop: %s\n", *steps, *cpuProf)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // report live steady-state allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memProf)
+	}
 	last := hist.Samples[len(hist.Samples)-1]
 	fmt.Printf("t = %.3f  field E = %.4g  field B = %.4g  kinetic = %.4g  total = %.4g\n",
 		last.Time, last.EField, last.BField, sum(last.Kinetic), last.Total)
@@ -165,6 +198,41 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("wrote %s\n", *summary)
+	}
+	if *benchJS != "" {
+		path := *benchJS
+		if !strings.HasSuffix(path, ".json") {
+			path = filepath.Join(path, fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02")))
+		}
+		pb := sim.PerfBreakdown()
+		stats := pb.Snapshot()
+		secs := make([]output.BenchSection, len(stats))
+		for i, st := range stats {
+			secs[i] = output.BenchSection{
+				Name: st.Name, Seconds: st.Seconds, Share: st.Share,
+				BytesMoved: st.BytesMoved, EffGBs: st.EffGBs,
+			}
+		}
+		rec := output.BenchRecord{
+			Date:        time.Now().UTC().Format("2006-01-02"),
+			Deck:        d.Name,
+			Steps:       sim.StepCount(),
+			Particles:   sim.TotalParticles(),
+			Ranks:       d.Cfg.NRanks,
+			Workers:     sim.Cfg.Workers,
+			WallSeconds: wall.Seconds(),
+			MPartPerS:   perf.Rate(sim.PushedParticles(), wall) / 1e6,
+			GFlopPerS:   float64(sim.Flops()) / wall.Seconds() / 1e9,
+			PushEffGBs:  pb.EffectiveGBs(perf.Push),
+			Sections:    secs,
+		}
+		err := output.WriteFileAtomic(path, func(w io.Writer) error {
+			return output.WriteBench(w, rec)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 	if *ckpt != "" {
 		// Atomic (temp + fsync + rename): a crash mid-write can never

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (see -debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +35,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8970", "HTTP listen address")
+		debugAddr = flag.String("debug-addr", "", "if set, serve net/http/pprof on this address (e.g. localhost:6060)")
 		spool     = flag.String("spool", "vpicd-spool", "durable job spool directory")
 		runners   = flag.Int("runners", 1, "concurrent job executors")
 		queue     = flag.Int("queue", 16, "job queue depth (full queue answers 429)")
@@ -41,6 +43,19 @@ func main() {
 		energy    = flag.Int("energy-every", 10, "steps between energy history samples")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Profiling stays off the job API listener: the pprof handlers
+		// sit on the default mux, served only here, so production
+		// deployments expose them on localhost (or not at all) without
+		// touching the service surface.
+		go func() {
+			log.Printf("vpicd: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("vpicd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	srv, err := server.New(server.Config{
 		SpoolDir:        *spool,

@@ -10,6 +10,15 @@
 // (accumulator → field) is the design that let VPIC's SPE kernels stream
 // particles without scattering to remote field memory; here it also
 // keeps the hot loop free of cross-cell indexing.
+//
+// Because the step is bandwidth-bound, the accumulator tracks the voxel
+// window [Lo, Hi) its deposits actually touched: Clear zeroes and Reduce
+// sums only occupied windows instead of full grids. A pipeline block
+// whose (sorted) particles span a sliver of the grid then pays
+// O(window) instead of O(grid) accumulator traffic per step. The
+// invariant every fast path relies on is that cells outside the window
+// are exactly zero; all writes must therefore go through Touch (or the
+// push kernel, which touches on every deposit).
 package accum
 
 import (
@@ -28,20 +37,68 @@ type Cell struct {
 	JZ [4]float32
 }
 
-// Array is the accumulator for all voxels of a grid.
+// CellBytes is the memory footprint of one accumulator cell (12 × 4 B),
+// the unit of the package's data-motion accounting.
+const CellBytes = 48
+
+// Array is the accumulator for all voxels of a grid, plus the touched
+// voxel window. Invariant: every cell outside [lo, hi) is zero.
 type Array struct {
 	G *grid.Grid
 	A []Cell
+
+	lo, hi int // touched window; lo >= hi means empty
 }
 
-// New allocates a cleared accumulator array for g.
+// New allocates a cleared accumulator array for g with an empty window.
 func New(g *grid.Grid) *Array {
-	return &Array{G: g, A: make([]Cell, g.NV())}
+	nv := g.NV()
+	return &Array{G: g, A: make([]Cell, nv), lo: nv, hi: 0}
 }
 
-// Clear zeroes every slot; called once per step before deposition.
+// Touch grows the touched window to include voxel v. Callers depositing
+// into A directly must Touch every voxel they write (the push kernel
+// does this once per sorted run, not per particle).
+func (a *Array) Touch(v int) {
+	if v < a.lo {
+		a.lo = v
+	}
+	if v+1 > a.hi {
+		a.hi = v + 1
+	}
+}
+
+// Window returns the touched voxel window [lo, hi); lo >= hi means no
+// deposit has landed since the last Clear.
+func (a *Array) Window() (lo, hi int) { return a.lo, a.hi }
+
+// WindowLen returns the number of voxels in the touched window.
+func (a *Array) WindowLen() int {
+	if a.hi <= a.lo {
+		return 0
+	}
+	return a.hi - a.lo
+}
+
+// resetWindow marks the window empty.
+func (a *Array) resetWindow() { a.lo, a.hi = len(a.A), 0 }
+
+// Clear zeroes the touched window and resets it; called once per step
+// before deposition. Cells outside the window are already zero by the
+// package invariant, so this moves O(window) rather than O(grid) bytes.
 func (a *Array) Clear() {
+	if a.hi > a.lo {
+		clear(a.A[a.lo:a.hi])
+	}
+	a.resetWindow()
+}
+
+// ClearFull unconditionally zeroes every cell and resets the window —
+// the escape hatch for callers that wrote to A without Touch (tests,
+// ad-hoc diagnostics).
+func (a *Array) ClearFull() {
 	clear(a.A)
+	a.resetWindow()
 }
 
 // ClearAll zeroes every array in as, one pool task per array.
@@ -50,13 +107,34 @@ func ClearAll(p *pipe.Pool, as []*Array) {
 }
 
 // Reduce overwrites dst's slots with the slot-wise sum of srcs — the
-// pipeline accumulators — taken in slice order. Each voxel's sum is a
-// fixed left-associated chain over srcs, and the pool only partitions
-// the voxel range, so the result is bit-identical for any worker count.
-func Reduce(p *pipe.Pool, dst *Array, srcs []*Array) {
+// pipeline accumulators — taken in slice order, and returns the size of
+// the union window it reduced. Each voxel's sum is a fixed
+// left-associated chain over srcs, and the pool only partitions the
+// voxel range, so the result is bit-identical for any worker count.
+//
+// Only the union of the srcs' touched windows is visited: a src whose
+// window excludes a voxel holds exact zeros there, and adding +0.0
+// leaves every partial sum bit-identical (deposited cells are never
+// −0.0: they start at +0.0 and IEEE addition preserves that). dst's
+// stale window is cleared first, so cells outside the union end the
+// call exactly zero — the same value the full-grid reduction produced.
+func Reduce(p *pipe.Pool, dst *Array, srcs []*Array) int {
+	lo, hi := len(dst.A), 0
+	for _, s := range srcs {
+		if s.lo < lo {
+			lo = s.lo
+		}
+		if s.hi > hi {
+			hi = s.hi
+		}
+	}
+	dst.Clear()
+	if hi <= lo {
+		return 0
+	}
 	d := dst.A
-	p.Range(len(d), func(lo, hi int) {
-		for v := lo; v < hi; v++ {
+	p.Range(hi-lo, func(rlo, rhi int) {
+		for v := lo + rlo; v < lo+rhi; v++ {
 			c := srcs[0].A[v]
 			for _, s := range srcs[1:] {
 				o := &s.A[v]
@@ -69,6 +147,8 @@ func Reduce(p *pipe.Pool, dst *Array, srcs []*Array) {
 			d[v] = c
 		}
 	})
+	dst.lo, dst.hi = lo, hi
+	return hi - lo
 }
 
 // Unload scatters the accumulated currents into the field J arrays

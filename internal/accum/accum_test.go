@@ -6,17 +6,122 @@ import (
 
 	"govpic/internal/field"
 	"govpic/internal/grid"
+	"govpic/internal/pipe"
+	"govpic/internal/rng"
 )
 
-func TestClear(t *testing.T) {
+func TestClearWindowed(t *testing.T) {
 	g := grid.MustNew(3, 3, 3, 1, 1, 1)
 	a := New(g)
+	if a.WindowLen() != 0 {
+		t.Fatalf("fresh array reports window %d", a.WindowLen())
+	}
 	a.A[5].JX[2] = 7
+	a.Touch(5)
 	a.A[9].JZ[0] = -1
+	a.Touch(9)
+	if lo, hi := a.Window(); lo != 5 || hi != 10 {
+		t.Fatalf("window = [%d,%d), want [5,10)", lo, hi)
+	}
 	a.Clear()
 	for i := range a.A {
 		if a.A[i] != (Cell{}) {
 			t.Fatalf("voxel %d not cleared", i)
+		}
+	}
+	if a.WindowLen() != 0 {
+		t.Fatal("Clear did not reset the window")
+	}
+}
+
+func TestClearFullCatchesUntrackedWrites(t *testing.T) {
+	g := grid.MustNew(3, 3, 3, 1, 1, 1)
+	a := New(g)
+	a.A[5].JX[2] = 7 // no Touch: windowed Clear would miss this
+	a.ClearFull()
+	for i := range a.A {
+		if a.A[i] != (Cell{}) {
+			t.Fatalf("voxel %d not cleared", i)
+		}
+	}
+	if a.WindowLen() != 0 {
+		t.Fatal("ClearFull did not reset the window")
+	}
+}
+
+// TestReduceWindowedMatchesFull deposits random currents into sparse
+// disjoint-ish windows of 8 block accumulators and checks the windowed
+// Reduce reproduces the full-grid left-associated reduction bit for bit,
+// including zeroing dst cells left over from a previous wider reduction.
+func TestReduceWindowedMatchesFull(t *testing.T) {
+	g := grid.MustNew(8, 8, 8, 1, 1, 1)
+	src := rng.New(42, 0)
+	srcs := make([]*Array, pipe.NumBlocks)
+	for b := range srcs {
+		srcs[b] = New(g)
+		// Each block touches a narrow random band.
+		lo := src.Intn(g.NV() - 40)
+		for n := 0; n < 30; n++ {
+			v := lo + src.Intn(40)
+			for j := 0; j < 4; j++ {
+				srcs[b].A[v].JX[j] += float32(src.Uniform(-1, 1))
+				srcs[b].A[v].JY[j] += float32(src.Uniform(-1, 1))
+				srcs[b].A[v].JZ[j] += float32(src.Uniform(-1, 1))
+			}
+			srcs[b].Touch(v)
+		}
+	}
+
+	// Full-grid reference: the pre-window reduction.
+	want := make([]Cell, g.NV())
+	for v := range want {
+		c := srcs[0].A[v]
+		for _, s := range srcs[1:] {
+			o := &s.A[v]
+			for j := 0; j < 4; j++ {
+				c.JX[j] += o.JX[j]
+				c.JY[j] += o.JY[j]
+				c.JZ[j] += o.JZ[j]
+			}
+		}
+		want[v] = c
+	}
+
+	for _, w := range []int{1, 3, 8} {
+		dst := New(g)
+		// Stale deposit outside this step's union: Reduce must zero it.
+		dst.A[g.NV()-1].JY[1] = 99
+		dst.Touch(g.NV() - 1)
+		n := Reduce(pipe.New(w), dst, srcs)
+		if n <= 0 || n >= g.NV() {
+			t.Fatalf("W=%d: union window %d voxels, want sparse nonzero", w, n)
+		}
+		for v := range want {
+			if dst.A[v] != want[v] {
+				t.Fatalf("W=%d: voxel %d: windowed %+v != full %+v", w, v, dst.A[v], want[v])
+			}
+		}
+		if lo, hi := dst.Window(); hi-lo != n {
+			t.Fatalf("W=%d: dst window [%d,%d) inconsistent with returned %d", w, lo, hi, n)
+		}
+	}
+}
+
+func TestReduceEmptyWindows(t *testing.T) {
+	g := grid.MustNew(4, 4, 4, 1, 1, 1)
+	srcs := make([]*Array, 3)
+	for b := range srcs {
+		srcs[b] = New(g)
+	}
+	dst := New(g)
+	dst.A[7].JX[0] = 5
+	dst.Touch(7)
+	if n := Reduce(nil, dst, srcs); n != 0 {
+		t.Fatalf("empty reduce visited %d voxels", n)
+	}
+	for v := range dst.A {
+		if dst.A[v] != (Cell{}) {
+			t.Fatalf("voxel %d survived an all-empty reduce", v)
 		}
 	}
 }
@@ -107,11 +212,85 @@ func TestUnloadJZOrientation(t *testing.T) {
 	if f.Jz[v] != 1 {
 		t.Fatalf("Jz slot0 landed wrong: %g", f.Jz[v])
 	}
-	a.Clear()
+	a.ClearFull()
 	f.ClearJ()
 	a.A[v].JZ = [4]float32{0, 4, 0, 0} // slot 1: edge (i+1,j)
 	a.Unload(f, 1)
 	if f.Jz[g.Voxel(3, 2, 2)] != 1 {
 		t.Fatalf("Jz slot1 landed wrong")
+	}
+}
+
+// benchArrays builds NumBlocks accumulators on a production-sized grid
+// with each block's window confined to its 1/NumBlocks share of the
+// voxels — the steady state a sorted particle buffer produces.
+func benchArrays(windowed bool) (*grid.Grid, *Array, []*Array) {
+	g := grid.MustNew(48, 16, 16, 0.5, 0.5, 0.5)
+	nv := g.NV()
+	srcs := make([]*Array, pipe.NumBlocks)
+	for b := range srcs {
+		srcs[b] = New(g)
+		lo, hi := pipe.BlockBounds(nv, pipe.NumBlocks, b)
+		if !windowed {
+			lo, hi = 0, nv
+		}
+		srcs[b].A[lo].JX[0] = 1
+		srcs[b].Touch(lo)
+		srcs[b].A[hi-1].JX[0] = 1
+		srcs[b].Touch(hi - 1)
+	}
+	return g, New(g), srcs
+}
+
+// BenchmarkClearWindowed vs BenchmarkClearFull: the per-step cost of
+// zeroing 8 block accumulators when windows cover 1/8 of the grid each
+// versus the pre-window full-grid clears.
+func BenchmarkClearWindowed(b *testing.B) {
+	_, _, srcs := benchArrays(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range srcs {
+			lo, hi := a.Window() // re-touch so every iteration clears the same span
+			a.Clear()
+			a.Touch(lo)
+			a.Touch(hi - 1)
+		}
+	}
+}
+
+func BenchmarkClearFull(b *testing.B) {
+	_, _, srcs := benchArrays(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range srcs {
+			a.ClearFull()
+		}
+	}
+}
+
+func BenchmarkReduceWindowed(b *testing.B) {
+	for _, name := range []string{"sliver", "full"} {
+		b.Run(name, func(b *testing.B) {
+			_, dst, srcs := benchArrays(name == "sliver")
+			if name == "sliver" {
+				// Shrink every block to the same narrow band: union ≈ grid/8.
+				for _, a := range srcs {
+					a.ClearFull()
+					a.A[100].JX[0] = 1
+					a.Touch(100)
+					a.A[1500].JX[0] = 1
+					a.Touch(1500)
+				}
+			}
+			b.ResetTimer()
+			var vox int
+			for i := 0; i < b.N; i++ {
+				n := Reduce(nil, dst, srcs)
+				vox += n
+				// Restore src windows consumed by nothing (Reduce reads only).
+				_ = n
+			}
+			b.ReportMetric(float64(vox)/float64(b.N)*CellBytes*(pipe.NumBlocks+1)/1e6, "MB-moved/op")
+		})
 	}
 }

@@ -118,6 +118,69 @@ func compareSims(t *testing.T, a, b *Simulation, label string) {
 	}
 }
 
+// TestWorkerCountDeterminismSortedAndUnsorted is the acceptance test of
+// the memory-traffic overhaul (fused runs + windowed accumulators +
+// zero-copy sort): worker counts {1, 3, 8} must produce byte-identical
+// particle and field state both on the normally sorted deck and on a
+// deck whose species never sort — so buffers churn into adversarial
+// voxel order via swap-removals and the fused kernel degenerates to
+// one-particle runs.
+func TestWorkerCountDeterminismSortedAndUnsorted(t *testing.T) {
+	const steps = 20
+	for _, sorted := range []bool{true, false} {
+		name := "sorted"
+		if !sorted {
+			name = "unsorted"
+		}
+		run := func(workers int) *Simulation {
+			cfg := twoSpeciesDeck(1, workers)
+			if !sorted {
+				for i := range cfg.Species {
+					cfg.Species[i].SortInterval = 0
+				}
+			}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(steps)
+			return s
+		}
+		ref := run(1)
+		for _, w := range []int{3, 8} {
+			compareSims(t, ref, run(w), fmt.Sprintf("%s W=1 vs W=%d", name, w))
+		}
+	}
+}
+
+// TestPushTrafficModel checks the wired-up bytes-moved accounting: the
+// push and sort sections must report traffic, and on a sorted deck the
+// modeled bytes per particle-push must beat the naive per-particle
+// model (the whole point of run fusion + windowed accumulators).
+func TestPushTrafficModel(t *testing.T) {
+	s, err := New(twoSpeciesDeck(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(20)
+	b := s.PerfBreakdown()
+	pushB := b.BytesMoved(perf.Push)
+	if pushB <= 0 {
+		t.Fatal("push section recorded no bytes moved")
+	}
+	if b.BytesMoved(perf.Sort) <= 0 {
+		t.Fatal("sort section recorded no bytes moved")
+	}
+	pushed := s.PushedParticles()
+	perPart := float64(pushB) / float64(pushed)
+	if perPart >= push.BytesPerPush {
+		t.Fatalf("modeled %.1f B/particle, want < %d (unfused model)", perPart, push.BytesPerPush)
+	}
+	if perPart < push.BytesPerParticle {
+		t.Fatalf("modeled %.1f B/particle is below the irreducible %d", perPart, push.BytesPerParticle)
+	}
+}
+
 // TestPipelineRace drives a multi-rank, multi-worker run long enough
 // for sorts, collisions of block boundaries with migrations, and every
 // parallel sweep to interleave — the `go test -race` target for the

@@ -152,6 +152,15 @@ func New(cfg Config) (*Simulation, error) {
 		for i, sp := range rk.Species {
 			rk.bufs[i] = sp.Buf
 		}
+		// Pre-size hot-path scratch (movers, outgoing faces, per-block
+		// mover lists) so steady-state steps allocate nothing.
+		for i, sp := range rk.Species {
+			n := sp.Buf.N()
+			rk.Kernels[i].Prealloc(n/16+64, n/64+16)
+		}
+		for _, bs := range rk.blockSt {
+			bs.Movers = make([]particle.Mover, 0, 1024)
+		}
 		// Initial sort for locality.
 		for _, sp := range rk.Species {
 			if sp.SortInterval > 0 {
@@ -261,17 +270,20 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	// Periodic particle sort (VPIC: keeps the gather/scatter streaming)
 	// and collisions, which require voxel order and so run right after.
 	rk.Perf.Start(perf.Sort)
+	var sortBytes int64
 	for i, sp := range rk.Species {
 		op := rk.Colliders[i]
 		collide := op != nil && op.Due(step)
 		if sp.ShouldSort(step) || collide {
 			rk.sortWS.ByVoxel(sp.Buf, d.G.NV())
+			sortBytes += psort.TrafficBytes(sp.Buf.N())
 		}
 		if collide {
 			op.Apply(d.G, sp.Buf, cfg.DT)
 		}
 	}
 	rk.stopPar(perf.Sort)
+	rk.Perf.AddBytes(perf.Sort, sortBytes)
 
 	// Particle advance and current deposition (the inner loop). The
 	// pipelined path pushes pipe.NumBlocks contiguous blocks per species
@@ -280,12 +292,19 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	// the rank accumulator in fixed order — bit-identical for any
 	// worker count (see internal/pipe).
 	rk.Perf.Start(perf.Push)
+	var pushBytes int64
 	if cfg.UseReferencePusher {
+		pushBytes += int64(rk.Acc.WindowLen()) * accum.CellBytes
 		rk.Acc.Clear()
 		for i, sp := range rk.Species {
 			rk.Kernels[i].AdvancePRef(sp.Buf, f)
 		}
 	} else {
+		// Windowed clears/reduce touch only occupied accumulator spans;
+		// charge their actual window sizes to the traffic model.
+		for _, a := range rk.pipeAcc {
+			pushBytes += int64(a.WindowLen()) * accum.CellBytes
+		}
 		accum.ClearAll(rk.pool, rk.pipeAcc)
 		for i, sp := range rk.Species {
 			k := rk.Kernels[i]
@@ -299,11 +318,16 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 			})
 			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)
 		}
-		// Overwrites rk.Acc, so no per-step Clear is needed; immigrants
+		// Zeroes rk.Acc's stale window before summing, so immigrants
 		// finishing their move deposit on top during the exchange.
-		accum.Reduce(rk.pool, rk.Acc, rk.pipeAcc)
+		union := accum.Reduce(rk.pool, rk.Acc, rk.pipeAcc)
+		pushBytes += int64(union) * accum.CellBytes * int64(len(rk.pipeAcc)+1)
+	}
+	for _, k := range rk.Kernels {
+		pushBytes += k.TakeTrafficBytes()
 	}
 	rk.stopPar(perf.Push)
+	rk.Perf.AddBytes(perf.Push, pushBytes)
 
 	// Migrate boundary-crossing particles.
 	rk.Perf.Start(perf.Comm)

@@ -129,6 +129,20 @@ func TestAblations(t *testing.T) {
 	if r.Rows[0][0] <= 0 || r.Rows[0][1] <= 0 {
 		t.Fatalf("sort ablation rates: %v", r.Rows)
 	}
+	r, err = AblationFusion(8, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row[0] <= 0 || row[1] <= 0 {
+		t.Fatalf("fusion ablation rates: %v", r.Rows)
+	}
+	// The unfused sweep's modeled traffic is the flat per-particle
+	// figure; the fused sweep must model strictly less on a sorted
+	// buffer with ppc > 1.
+	if row[3] >= row[4] {
+		t.Fatalf("fused B/part %.1f not below unfused %.1f", row[3], row[4])
+	}
 }
 
 // The LPI physics experiments are exercised at tiny scale here (their

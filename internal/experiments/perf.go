@@ -10,6 +10,7 @@ import (
 	"govpic/internal/perf"
 	"govpic/internal/push"
 	"govpic/internal/rng"
+	psort "govpic/internal/sort"
 )
 
 // E2InnerLoop measures the particle inner loop in isolation on a
@@ -27,24 +28,76 @@ func E2InnerLoop(cells, ppc, steps int) (Result, error) {
 	pushed0 := s.PushedParticles()
 	pb := s.PerfBreakdown()
 	b0 := pb.Elapsed(perf.Push)
+	bytes0 := pb.BytesMoved(perf.Push)
 	s.Run(steps)
 	pb = s.PerfBreakdown()
 	elapsed := pb.Elapsed(perf.Push) - b0
 	pushed := s.PushedParticles() - pushed0
 	flops := s.Flops() - flops0
+	bytesMoved := pb.BytesMoved(perf.Push) - bytes0
 
 	rate := perf.Rate(pushed, elapsed)
 	gf := perf.GFlops(flops, elapsed)
-	bytesRate := rate * float64(push.BytesPerPush) / 1e9
+	bytesRate := float64(bytesMoved) / elapsed.Seconds() / 1e9
+	bPerPart := float64(bytesMoved) / float64(pushed)
 	return Result{
 		Name:    "E2 inner loop (thermal plasma, 1 rank)",
-		Headers: []string{"particles", "steps", "Mpart/s", "ns/part", "Gflop/s", "GB/s moved", "flops/part"},
+		Headers: []string{"particles", "steps", "Mpart/s", "ns/part", "Gflop/s", "GB/s moved", "B/part"},
 		Rows: [][]float64{{
 			float64(s.TotalParticles()), float64(steps),
-			rate / 1e6, 1e9 / rate, gf, bytesRate, float64(push.FlopsPerPush),
+			rate / 1e6, 1e9 / rate, gf, bytesRate, bPerPart,
 		}},
-		Text: fmt.Sprintf("arithmetic intensity %.2f flops/byte (paper's data-motion argument: O(1), vs O(10²) for DGEMM)\n",
+		Text: fmt.Sprintf("arithmetic intensity %.2f flops/byte measured, %.2f unfused model (paper's data-motion argument: O(1), vs O(10²) for DGEMM)\n",
+			float64(push.FlopsPerPush)/bPerPart,
 			float64(push.FlopsPerPush)/float64(push.BytesPerPush)),
+	}, nil
+}
+
+// AblationFusion compares the fused sorted-run sweep against the
+// unfused per-particle sweep on the same freshly sorted buffer — what
+// run fusion buys on top of sorting (A2 measures sorting itself). Both
+// sweeps produce bitwise-identical state, so the measured gap is pure
+// data motion. Also reports each sweep's modeled bytes per particle
+// from the kernel traffic counters.
+func AblationFusion(cellsX, ppc, steps int) (Result, error) {
+	d := deck.Thermal(cellsX, 8, 8, ppc, 1, 0.2, 0.05)
+	s, err := d.New()
+	if err != nil {
+		return Result{}, err
+	}
+	s.Run(2) // loads interpolators, settles movers
+	rk := s.Ranks[0]
+	k := rk.Kernels[0]
+	buf := rk.Species[0].Buf
+	ws := psort.NewWorkspace(rk.D.G.NV())
+
+	measure := func(fused bool) (float64, float64) {
+		ws.ByVoxel(buf, rk.D.G.NV())
+		k.ResetStats()
+		k.TakeTrafficBytes()
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			rk.Acc.Clear()
+			if fused {
+				k.AdvanceP(buf)
+			} else {
+				k.AdvancePUnfused(buf)
+			}
+		}
+		elapsed := time.Since(start)
+		rate := perf.Rate(int64(steps)*int64(buf.N()), elapsed)
+		bPerPart := float64(k.TakeTrafficBytes()) / float64(int64(steps)*int64(buf.N()))
+		return rate, bPerPart
+	}
+	// Interleave would be fairer under thermal drift, but each pass
+	// re-sorts first, so both see the same run-length distribution.
+	fusedRate, fusedB := measure(true)
+	unfusedRate, unfusedB := measure(false)
+
+	return Result{
+		Name:    "A4 fusion ablation (sorted-run fused vs per-particle sweep, serial)",
+		Headers: []string{"fused Mp/s", "unfused Mp/s", "speedup", "fused B/part", "unfused B/part"},
+		Rows:    [][]float64{{fusedRate / 1e6, unfusedRate / 1e6, fusedRate / unfusedRate, fusedB, unfusedB}},
 	}, nil
 }
 

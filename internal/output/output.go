@@ -43,6 +43,49 @@ func ReadSummary(r io.Reader) (Summary, error) {
 	return s, err
 }
 
+// BenchSection is one kernel section's share of a benchmark run.
+type BenchSection struct {
+	Name       string  `json:"name"`
+	Seconds    float64 `json:"seconds"`
+	Share      float64 `json:"share"`
+	BytesMoved int64   `json:"bytes_moved,omitempty"`
+	EffGBs     float64 `json:"eff_gb_s,omitempty"`
+}
+
+// BenchRecord is the machine-readable benchmark result the tools emit
+// (BENCH_<date>.json): the headline rates plus the per-section timing
+// and data-motion breakdown, so kernel changes leave a comparable
+// perf trajectory in the repo.
+type BenchRecord struct {
+	Date        string         `json:"date"` // YYYY-MM-DD
+	Deck        string         `json:"deck"`
+	Steps       int            `json:"steps"`
+	Particles   int            `json:"particles"`
+	Ranks       int            `json:"ranks"`
+	Workers     int            `json:"workers"`
+	WallSeconds float64        `json:"wall_seconds"`
+	MPartPerS   float64        `json:"mpart_per_s"`
+	GFlopPerS   float64        `json:"gflop_per_s"`
+	PushEffGBs  float64        `json:"push_eff_gb_s"` // effective push-section bandwidth
+	Sections    []BenchSection `json:"sections"`
+	Written     time.Time      `json:"written"`
+}
+
+// WriteBench emits the record as indented JSON.
+func WriteBench(w io.Writer, b BenchRecord) error {
+	b.Written = time.Now().UTC()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBench parses a record written by WriteBench.
+func ReadBench(r io.Reader) (BenchRecord, error) {
+	var b BenchRecord
+	err := json.NewDecoder(r).Decode(&b)
+	return b, err
+}
+
 // Snapshot is one named float32 array with its 3-D shape — a field
 // component, charge density, or moment grid.
 type Snapshot struct {

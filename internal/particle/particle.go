@@ -55,6 +55,18 @@ func (b *Buffer) RemoveSwap(i int) {
 // Clear removes all particles, keeping capacity.
 func (b *Buffer) Clear() { b.P = b.P[:0] }
 
+// Swap replaces the buffer's storage with p — which must hold the same
+// particles count, typically the sort's scratch holding the sorted
+// permutation — and returns the previous storage for reuse. This is the
+// zero-copy half of the double-buffered sort: ownership of the two
+// slices ping-pongs between buffer and sort workspace, so no copy-back
+// pass ever runs.
+func (b *Buffer) Swap(p []Particle) []Particle {
+	old := b.P
+	b.P = p
+	return old
+}
+
 // KineticEnergy returns Σ w·m·(γ−1) in code units (me·c² per unit
 // weight) accumulated in double precision; m is the species mass in
 // electron masses.

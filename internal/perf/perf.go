@@ -51,6 +51,12 @@ type Breakdown struct {
 	// via AddParallel.
 	pbusy [NumSections]time.Duration
 	pwall [NumSections]time.Duration
+
+	// Estimated data motion per section (bytes), fed by the kernels'
+	// traffic models (push run/segment counts, sort passes, accumulator
+	// window sizes). Divided by the section's wall time this yields the
+	// effective bandwidth the bandwidth-bound sections sustain.
+	bytes [NumSections]int64
 }
 
 // Start begins timing a section.
@@ -105,6 +111,22 @@ func (b *Breakdown) AddParallel(s Section, busy, wall time.Duration) {
 	b.pwall[s] += wall
 }
 
+// AddBytes records estimated data motion inside a section.
+func (b *Breakdown) AddBytes(s Section, n int64) { b.bytes[s] += n }
+
+// BytesMoved returns the section's accumulated data-motion estimate.
+func (b *Breakdown) BytesMoved(s Section) int64 { return b.bytes[s] }
+
+// EffectiveGBs returns the section's effective bandwidth in GB/s —
+// estimated bytes moved over accumulated wall time — or 0 when nothing
+// was recorded.
+func (b *Breakdown) EffectiveGBs(s Section) float64 {
+	if b.accum[s] <= 0 || b.bytes[s] == 0 {
+		return 0
+	}
+	return float64(b.bytes[s]) / b.accum[s].Seconds() / 1e9
+}
+
 // Concurrency returns the average number of busy workers over the
 // section's pipeline-parallel regions (busy/wall), or 0 when the
 // section ran no parallel regions. Divide by the configured worker
@@ -133,6 +155,8 @@ type SectionStat struct {
 	Seconds     float64 `json:"seconds"`
 	Share       float64 `json:"share"`       // fraction of the breakdown total
 	Concurrency float64 `json:"concurrency"` // avg busy workers in parallel regions (0 = none)
+	BytesMoved  int64   `json:"bytes_moved"` // estimated data motion (0 = not modeled)
+	EffGBs      float64 `json:"eff_gb_s"`    // BytesMoved over section wall time, GB/s
 }
 
 // Snapshot returns a value copy of every section's accumulated counters,
@@ -147,6 +171,8 @@ func (b *Breakdown) Snapshot() []SectionStat {
 			Seconds:     b.accum[s].Seconds(),
 			Share:       b.Fraction(s),
 			Concurrency: b.Concurrency(s),
+			BytesMoved:  b.bytes[s],
+			EffGBs:      b.EffectiveGBs(s),
 		}
 	}
 	return stats
@@ -162,6 +188,7 @@ func (b *Breakdown) Merge(o *Breakdown) {
 		b.accum[s] += o.accum[s]
 		b.pbusy[s] += o.pbusy[s]
 		b.pwall[s] += o.pwall[s]
+		b.bytes[s] += o.bytes[s]
 	}
 }
 
@@ -171,13 +198,17 @@ func (b *Breakdown) Merge(o *Breakdown) {
 func (b *Breakdown) Report() string {
 	var sb strings.Builder
 	tot := b.Total()
-	fmt.Fprintf(&sb, "%-8s %12s %8s %8s\n", "section", "time", "share", "workers")
+	fmt.Fprintf(&sb, "%-8s %12s %8s %8s %9s\n", "section", "time", "share", "workers", "GB/s")
 	for s := Section(0); s < NumSections; s++ {
 		w := ""
 		if c := b.Concurrency(s); c > 0 {
 			w = fmt.Sprintf("%.2f", c)
 		}
-		fmt.Fprintf(&sb, "%-8s %12v %7.1f%% %8s\n", s, b.accum[s].Round(time.Microsecond), 100*b.Fraction(s), w)
+		gbs := ""
+		if r := b.EffectiveGBs(s); r > 0 {
+			gbs = fmt.Sprintf("%.2f", r)
+		}
+		fmt.Fprintf(&sb, "%-8s %12v %7.1f%% %8s %9s\n", s, b.accum[s].Round(time.Microsecond), 100*b.Fraction(s), w, gbs)
 	}
 	fmt.Fprintf(&sb, "%-8s %12v\n", "total", tot.Round(time.Microsecond))
 	return sb.String()

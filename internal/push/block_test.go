@@ -115,6 +115,10 @@ func benchRig() (*rig, *Kernel) {
 // AdvanceP sweep with a single shared accumulator.
 func BenchmarkAdvanceSerial(b *testing.B) {
 	r, k := benchRig()
+	k.Prealloc(r.buf.N()/8, 64)
+	r.acc.Clear()
+	k.AdvanceP(r.buf) // warm-up: grow any remaining scratch
+	b.ReportAllocs()  // steady state must be 0 allocs/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.acc.Clear()
@@ -130,8 +134,11 @@ func BenchmarkAdvanceBlocked(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
 			r, k := benchRig()
+			k.Prealloc(r.buf.N()/8, 64)
 			pool := pipe.New(w)
 			accs, blocks := blockFixture(r)
+			runBlockedStep(k, r, pool, accs, blocks) // warm-up
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				runBlockedStep(k, r, pool, accs, blocks)

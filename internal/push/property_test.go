@@ -23,7 +23,7 @@ func TestScatterWeightClosure(t *testing.T) {
 		DDX, DDY, DDZ := clampDisp(ddx), clampDisp(ddy), clampDisp(ddz)
 		v := r.g.Voxel(2, 2, 2)
 		r.acc.Clear()
-		k.scatter(r.acc.A, v, W, DX, DY, DZ, DDX, DDY, DDZ)
+		k.scatter(r.acc, v, W, DX, DY, DZ, DDX, DDY, DDZ)
 		a := r.acc.A[v]
 		sumX := float64(a.JX[0]) + float64(a.JX[1]) + float64(a.JX[2]) + float64(a.JX[3])
 		sumY := float64(a.JY[0]) + float64(a.JY[1]) + float64(a.JY[2]) + float64(a.JY[3])

@@ -13,6 +13,17 @@
 // convention of the paper's community — so measured particles/s convert
 // directly into a flop rate.
 //
+// The loop is bandwidth-bound, not flop-bound, so the sweep exploits the
+// voxel order the periodic sort maintains: consecutive particles sharing
+// a voxel form a "run", and the run's 72-byte interpolator is loaded
+// once and its in-cell current accumulated in a register-resident
+// accum.Cell that is loaded at run start and stored at run end. The
+// arithmetic — every floating-point operation and its order — is
+// exactly the per-particle kernel's (the run machinery only changes
+// where partial sums live), so the output is bitwise identical to the
+// unfused sweep for sorted and unsorted buffers alike; see
+// AdvancePUnfused and the fused-equivalence property tests.
+//
 // The kernel exposes two execution styles. AdvanceP is the serial path:
 // one sweep over the buffer depositing into the kernel's accumulator.
 // AdvanceBlock/FinishBlocks is the pipelined path mirroring the paper's
@@ -59,11 +70,30 @@ const (
 	// FlopsPerSegment is the additional cost of one move_p trajectory
 	// segment (fraction search + segment scatter).
 	FlopsPerSegment = 90
-	// BytesPerPush is the minimum data motion of the fast path: one
-	// 32-byte particle read + write, one 72-byte interpolator read and a
-	// 48-byte accumulator read-modify-write — the "PIC moves more data
-	// per flop" argument of the paper, made concrete.
-	BytesPerPush = 32 + 32 + 72 + 2*48
+)
+
+// Data-motion model of the particle step (minimum cache traffic; the
+// "PIC moves more data per flop" argument of the paper, made concrete).
+// The fused sweep amortizes interpolator and accumulator traffic over
+// voxel runs, so its bytes are counted per run, not per particle:
+const (
+	// BytesPerPush is the per-particle data motion of the UNFUSED fast
+	// path: a 32-byte particle read + write, one 72-byte interpolator
+	// read and a 48-byte accumulator read-modify-write per particle.
+	// Kept as the pre-fusion baseline of the memory-traffic model.
+	BytesPerPush = 32 + 32 + 72 + 2*accum.CellBytes
+	// BytesPerParticle is the irreducible per-particle traffic of the
+	// fused sweep: the 32-byte particle read and write.
+	BytesPerParticle = 32 + 32
+	// BytesPerRun is the per-voxel-run traffic of the fused sweep: one
+	// 72-byte interpolator load plus one accumulator cell load and store.
+	// A sorted buffer with ppc particles per cell pays this once per ppc
+	// particles; an adversarially unsorted buffer degenerates to one run
+	// per particle, i.e. exactly BytesPerPush.
+	BytesPerRun = 72 + 2*accum.CellBytes
+	// BytesPerSegment is the extra traffic of one move_p segment: the
+	// traversed cell's accumulator read-modify-write.
+	BytesPerSegment = 2 * accum.CellBytes
 )
 
 // Action selects what happens to a particle crossing one local domain
@@ -104,13 +134,14 @@ type BlockState struct {
 	NSeg    int64
 	NLost   int64
 	NPushed int64
+	NRuns   int64 // voxel runs swept (the fused path's traffic unit)
 	ELost   float64
 }
 
 // Reset clears the movers and zeroes the counters, keeping capacity.
 func (b *BlockState) Reset() {
 	b.Movers = b.Movers[:0]
-	b.NMoved, b.NSeg, b.NLost, b.NPushed, b.ELost = 0, 0, 0, 0, 0
+	b.NMoved, b.NSeg, b.NLost, b.NPushed, b.NRuns, b.ELost = 0, 0, 0, 0, 0, 0
 }
 
 // Kernel advances one species' particles on one rank's domain.
@@ -143,7 +174,10 @@ type Kernel struct {
 	NSeg    int64      // total segments processed
 	NLost   int64      // particles absorbed at boundaries
 	NPushed int64      // total particles advanced
+	NRuns   int64      // total voxel runs swept
 	ELost   float64    // kinetic energy removed with absorbed particles
+
+	trafficTaken int64 // TakeTrafficBytes watermark
 }
 
 // NewKernel builds a push kernel. q and m are the species charge and
@@ -161,15 +195,51 @@ func NewKernel(g *grid.Grid, ip *interp.Table, acc *accum.Array, q, m, dt float6
 	}
 }
 
+// Prealloc pre-sizes the kernel's reusable hot-path buffers — the serial
+// mover list and the per-face outgoing buffers — so a steady-state step
+// performs no allocations. nMovers bounds the expected face-crossers of
+// one step and nOut the expected emigrants per face; both grow on demand
+// if exceeded.
+func (k *Kernel) Prealloc(nMovers, nOut int) {
+	if cap(k.serial.Movers) < nMovers {
+		k.serial.Movers = make([]particle.Mover, 0, nMovers)
+	}
+	for f := range k.Out {
+		if cap(k.Out[f]) < nOut {
+			k.Out[f] = make([]Outgoing, 0, nOut)
+		}
+	}
+}
+
 // Flops returns the total single-precision flops performed so far under
 // the package's counting convention.
 func (k *Kernel) Flops() int64 {
 	return k.NPushed*FlopsPerPush + k.NSeg*FlopsPerSegment
 }
 
+// TrafficBytes returns the kernel's cumulative data-motion estimate
+// under the fused-sweep model: per-particle stream traffic plus per-run
+// interpolator/accumulator traffic plus per-segment mover traffic.
+func (k *Kernel) TrafficBytes() int64 {
+	return k.NPushed*BytesPerParticle + k.NRuns*BytesPerRun + k.NSeg*BytesPerSegment
+}
+
+// TakeTrafficBytes returns the data motion accrued since the previous
+// call (or since construction/ResetStats) and advances the watermark.
+func (k *Kernel) TakeTrafficBytes() int64 {
+	t := k.TrafficBytes()
+	d := t - k.trafficTaken
+	if d < 0 { // counters were reset since the last take
+		d = t
+	}
+	k.trafficTaken = t
+	return d
+}
+
 // ResetStats zeroes the statistics counters.
 func (k *Kernel) ResetStats() {
-	k.NMoved, k.NSeg, k.NLost, k.NPushed, k.ELost = 0, 0, 0, 0, 0
+	k.NMoved, k.NSeg, k.NLost, k.NPushed, k.NRuns, k.ELost = 0, 0, 0, 0, 0, 0
+	k.trafficTaken = 0
 }
 
 // MergeStats folds one block's counters into the kernel totals.
@@ -178,6 +248,7 @@ func (k *Kernel) MergeStats(bs *BlockState) {
 	k.NSeg += bs.NSeg
 	k.NLost += bs.NLost
 	k.NPushed += bs.NPushed
+	k.NRuns += bs.NRuns
 	k.ELost += bs.ELost
 }
 
@@ -197,14 +268,14 @@ func (k *Kernel) ClearOutgoing() {
 func (k *Kernel) AdvanceP(buf *particle.Buffer) {
 	bs := &k.serial
 	bs.Reset()
-	k.advanceRange(buf, 0, buf.N(), k.Acc.A, bs)
+	k.advanceRange(buf, 0, buf.N(), k.Acc, bs)
 	bs.NMoved += int64(len(bs.Movers))
 
 	// Finish boundary-crossing particles in descending index order so
 	// that swap-removals never disturb an unprocessed mover.
 	for m := len(bs.Movers) - 1; m >= 0; m-- {
 		mv := bs.Movers[m]
-		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, k.Acc.A, bs)
+		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, k.Acc, bs)
 	}
 	k.MergeStats(bs)
 }
@@ -217,7 +288,7 @@ func (k *Kernel) AdvanceP(buf *particle.Buffer) {
 // safe to run concurrently. Call FinishBlocks afterwards to complete
 // the recorded movers.
 func (k *Kernel) AdvanceBlock(buf *particle.Buffer, lo, hi int, acc *accum.Array, bs *BlockState) {
-	k.advanceRange(buf, lo, hi, acc.A, bs)
+	k.advanceRange(buf, lo, hi, acc, bs)
 }
 
 // FinishBlocks completes the movers recorded by AdvanceBlock: blocks
@@ -232,7 +303,7 @@ func (k *Kernel) FinishBlocks(buf *particle.Buffer, blocks []*BlockState, accs [
 	for b := len(blocks) - 1; b >= 0; b-- {
 		bs := blocks[b]
 		bs.NMoved += int64(len(bs.Movers))
-		a := accs[b].A
+		a := accs[b]
 		for m := len(bs.Movers) - 1; m >= 0; m-- {
 			mv := bs.Movers[m]
 			k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, a, bs)
@@ -247,30 +318,54 @@ func (k *Kernel) FinishBlocks(buf *particle.Buffer, blocks []*BlockState, accs [
 // p[lo:hi], shared by the serial and pipelined paths. Face-crossing
 // particles are appended to bs.Movers (in ascending index order) for
 // the caller to finish.
-func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a []accum.Cell, bs *BlockState) {
+//
+// The sweep is fused over voxel runs: for each maximal group of
+// consecutive particles sharing a voxel it loads the 72-byte
+// interpolator and the 48-byte accumulator cell once, accumulates the
+// run's in-cell current in the register-resident copy, and stores the
+// cell back at run end. Loading the cell (rather than starting from
+// zero) keeps the per-slot addition chains exactly those of the
+// per-particle read-modify-write kernel, so the result is bitwise
+// identical to AdvancePUnfused for any particle order — sorted buffers
+// merely make the runs long enough to pay off.
+func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
 	p := buf.P
 	ip := k.IP.C
+	ac := a.A
 	qdt2mc := k.qdt2mc
 	cdx, cdy, cdz := k.cdtdx2, k.cdtdy2, k.cdtdz2
 	bs.NPushed += int64(hi - lo)
 
+	runV := int32(-1)    // voxel of the current run (-1: none yet)
+	var cc interp.Coeffs // hoisted interpolator of the run's cell
+	var rc accum.Cell    // register-resident accumulator of the run's cell
+
 	for i := lo; i < hi; i++ {
 		pt := &p[i]
 		dx, dy, dz := pt.Dx, pt.Dy, pt.Dz
-		c := &ip[pt.Voxel]
+		if pt.Voxel != runV {
+			if runV >= 0 {
+				ac[runV] = rc
+				a.Touch(int(runV))
+			}
+			runV = pt.Voxel
+			cc = ip[runV]
+			rc = ac[runV]
+			bs.NRuns++
+		}
 
 		// Interpolate E (21 flops) and apply the first half kick (3).
-		hax := qdt2mc * (c.Ex0 + dy*c.DExDy + dz*(c.DExDz+dy*c.D2ExDyDz))
-		hay := qdt2mc * (c.Ey0 + dz*c.DEyDz + dx*(c.DEyDx+dz*c.D2EyDzDx))
-		haz := qdt2mc * (c.Ez0 + dx*c.DEzDx + dy*(c.DEzDy+dx*c.D2EzDxDy))
+		hax := qdt2mc * (cc.Ex0 + dy*cc.DExDy + dz*(cc.DExDz+dy*cc.D2ExDyDz))
+		hay := qdt2mc * (cc.Ey0 + dz*cc.DEyDz + dx*(cc.DEyDx+dz*cc.D2EyDzDx))
+		haz := qdt2mc * (cc.Ez0 + dx*cc.DEzDx + dy*(cc.DEzDy+dx*cc.D2EzDxDy))
 		ux := pt.Ux + hax
 		uy := pt.Uy + hay
 		uz := pt.Uz + haz
 
 		// Interpolate cB (6 flops).
-		cbx := c.CBx0 + dx*c.DCBxDx
-		cby := c.CBy0 + dy*c.DCByDy
-		cbz := c.CBz0 + dz*c.DCBzDz
+		cbx := cc.CBx0 + dx*cc.DCBxDx
+		cby := cc.CBy0 + dy*cc.DCByDy
+		cbz := cc.CBz0 + dz*cc.DCBzDz
 
 		// Boris rotation about cB with the exact angle form (8+4+7+12+15).
 		gi := rsqrt(1 + (ux*ux + uy*uy + uz*uz))
@@ -301,51 +396,62 @@ func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a []accum.Cell, 
 		nz := dz + ddz
 
 		if nx <= 1 && nx >= -1 && ny <= 1 && ny >= -1 && nz <= 1 && nz >= -1 {
-			// In-cell fast path: scatter the whole-step current (67) and
-			// store the new offsets (3, counted in the displacement sum).
-			k.scatter(a, int(pt.Voxel), pt.W, dx, dy, dz, ddx, ddy, ddz)
+			// In-cell fast path: scatter the whole-step current (67) into
+			// the run's register cell and store the new offsets (3,
+			// counted in the displacement sum).
+			k.scatterCell(&rc, pt.W, dx, dy, dz, ddx, ddy, ddz)
 			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
 			continue
 		}
 		bs.Movers = append(bs.Movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
 	}
+	if runV >= 0 {
+		ac[runV] = rc
+		a.Touch(int(runV))
+	}
 }
 
 // scatter deposits the charge-conserving current of one in-cell segment
-// with half-displacements (hx,hy,hz) = (ddx,ddy,ddz)/2 starting from
-// offsets (dx,dy,dz), into cell v of accumulator a.
-func (k *Kernel) scatter(ac []accum.Cell, v int, w, dx, dy, dz, ddx, ddy, ddz float32) {
+// into cell v of accumulator a, growing a's touched window.
+func (k *Kernel) scatter(a *accum.Array, v int, w, dx, dy, dz, ddx, ddy, ddz float32) {
+	k.scatterCell(&a.A[v], w, dx, dy, dz, ddx, ddy, ddz)
+	a.Touch(v)
+}
+
+// scatterCell deposits the charge-conserving current of one in-cell
+// segment with half-displacements (hx,hy,hz) = (ddx,ddy,ddz)/2 starting
+// from offsets (dx,dy,dz), into the accumulator cell c.
+func (k *Kernel) scatterCell(c *accum.Cell, w, dx, dy, dz, ddx, ddy, ddz float32) {
 	qw := k.q * w
 	hx, hy, hz := 0.5*ddx, 0.5*ddy, 0.5*ddz
 	mx, my, mz := dx+hx, dy+hy, dz+hz // midpoint offsets
 	v5 := qw * hx * hy * hz * (1.0 / 3.0)
-	a := &ac[v]
 
 	qh := qw * hx
-	a.JX[0] += qh*(1-my)*(1-mz) + v5
-	a.JX[1] += qh*(1+my)*(1-mz) - v5
-	a.JX[2] += qh*(1-my)*(1+mz) - v5
-	a.JX[3] += qh*(1+my)*(1+mz) + v5
+	c.JX[0] += qh*(1-my)*(1-mz) + v5
+	c.JX[1] += qh*(1+my)*(1-mz) - v5
+	c.JX[2] += qh*(1-my)*(1+mz) - v5
+	c.JX[3] += qh*(1+my)*(1+mz) + v5
 
 	qh = qw * hy
-	a.JY[0] += qh*(1-mz)*(1-mx) + v5
-	a.JY[1] += qh*(1+mz)*(1-mx) - v5
-	a.JY[2] += qh*(1-mz)*(1+mx) - v5
-	a.JY[3] += qh*(1+mz)*(1+mx) + v5
+	c.JY[0] += qh*(1-mz)*(1-mx) + v5
+	c.JY[1] += qh*(1+mz)*(1-mx) - v5
+	c.JY[2] += qh*(1-mz)*(1+mx) - v5
+	c.JY[3] += qh*(1+mz)*(1+mx) + v5
 
 	qh = qw * hz
-	a.JZ[0] += qh*(1-mx)*(1-my) + v5
-	a.JZ[1] += qh*(1+mx)*(1-my) - v5
-	a.JZ[2] += qh*(1-mx)*(1+my) - v5
-	a.JZ[3] += qh*(1+mx)*(1+my) + v5
+	c.JZ[0] += qh*(1-mx)*(1-my) + v5
+	c.JZ[1] += qh*(1+mx)*(1-my) - v5
+	c.JZ[2] += qh*(1-mx)*(1+my) - v5
+	c.JZ[3] += qh*(1+mx)*(1+my) + v5
 }
 
 // moveP finishes a boundary-crossing particle: it splits the remaining
-// displacement at each cell face, deposits per-segment current into ac,
+// displacement at each cell face, deposits per-segment current into a,
 // and applies the face action when the particle leaves the local
 // interior. The particle at index i may be removed from buf
 // (Absorb/Migrate). Statistics land in bs.
-func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, ac []accum.Cell, bs *BlockState) {
+func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, a *accum.Array, bs *BlockState) {
 	g := k.G
 	sx, sy, _ := g.Strides()
 	strides := [3]int{1, sx, sx * sy}
@@ -369,7 +475,7 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, ac []
 		}
 
 		segx, segy, segz := s*ddx, s*ddy, s*ddz
-		k.scatter(ac, int(pt.Voxel), pt.W, pt.Dx, pt.Dy, pt.Dz, segx, segy, segz)
+		k.scatter(a, int(pt.Voxel), pt.W, pt.Dx, pt.Dy, pt.Dz, segx, segy, segz)
 		pt.Dx += segx
 		pt.Dy += segy
 		pt.Dz += segz
@@ -451,7 +557,7 @@ func (k *Kernel) FinishMove(buf *particle.Buffer, in Outgoing) {
 	i := buf.N() - 1
 	if in.DispX != 0 || in.DispY != 0 || in.DispZ != 0 {
 		var bs BlockState
-		k.moveP(buf, i, in.DispX, in.DispY, in.DispZ, k.Acc.A, &bs)
+		k.moveP(buf, i, in.DispX, in.DispY, in.DispZ, k.Acc, &bs)
 		k.MergeStats(&bs)
 	}
 }

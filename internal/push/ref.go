@@ -65,7 +65,7 @@ func (k *Kernel) AdvancePRef(buf *particle.Buffer, f *field.Fields) {
 		ny := pt.Dy + ddy
 		nz := pt.Dz + ddz
 		if nx <= 1 && nx >= -1 && ny <= 1 && ny >= -1 && nz <= 1 && nz >= -1 {
-			k.scatter(k.Acc.A, v, pt.W, pt.Dx, pt.Dy, pt.Dz, ddx, ddy, ddz)
+			k.scatter(k.Acc, v, pt.W, pt.Dx, pt.Dy, pt.Dz, ddx, ddy, ddz)
 			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
 			continue
 		}
@@ -74,7 +74,7 @@ func (k *Kernel) AdvancePRef(buf *particle.Buffer, f *field.Fields) {
 	bs.NMoved += int64(len(bs.Movers))
 	for m := len(bs.Movers) - 1; m >= 0; m-- {
 		mv := bs.Movers[m]
-		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, k.Acc.A, bs)
+		k.moveP(buf, int(mv.Idx), mv.DispX, mv.DispY, mv.DispZ, k.Acc, bs)
 	}
 	k.MergeStats(bs)
 }

@@ -19,6 +19,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var pushed int64
 	var rate float64
 	perfSec := map[string]float64{}
+	perfBytes := map[string]int64{}
 	for _, j := range s.jobs {
 		switch j.State {
 		case StateRunning:
@@ -30,6 +31,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pushed += j.pushed
 		for _, st := range j.Perf {
 			perfSec[st.Name] += st.Seconds
+			perfBytes[st.Name] += st.BytesMoved
 		}
 	}
 	lines := []string{
@@ -57,6 +59,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, name := range names {
 		lines = append(lines, fmt.Sprintf("vpicd_perf_seconds{section=%q} %.6f", name, perfSec[name]))
+	}
+	// Estimated data motion per section and the effective bandwidth it
+	// implies — the figure of merit for the bandwidth-bound kernels.
+	for _, name := range names {
+		b := perfBytes[name]
+		if b == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("vpicd_perf_bytes_moved_total{section=%q} %d", name, b))
+		if sec := perfSec[name]; sec > 0 {
+			lines = append(lines, fmt.Sprintf("vpicd_perf_effective_gb_s{section=%q} %.6g", name, float64(b)/sec/1e9))
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -3,7 +3,10 @@
 // which restores the streaming access pattern of the interpolator and
 // accumulator reads that cache (and on Roadrunner, SPE local-store DMA)
 // efficiency depends on. The out-of-place pass is stable, preserving
-// intra-cell ordering.
+// intra-cell ordering. The sort is zero-copy: the scatter pass lands in
+// the workspace scratch, which is then swapped into the particle buffer
+// (particle.Buffer.Swap) instead of being copied back — the two slices
+// ping-pong between buffer and workspace across calls.
 //
 // With a worker pool attached (SetPool), the count and scatter passes
 // run per pipeline block: each block counts its contiguous particle
@@ -49,7 +52,8 @@ func (w *Workspace) ByVoxel(buf *particle.Buffer, nv int) {
 		return
 	}
 	if cap(w.scratch) < len(p) {
-		w.scratch = make([]particle.Particle, len(p))
+		// Match the buffer's capacity so append headroom survives swaps.
+		w.scratch = make([]particle.Particle, len(p), cap(p))
 	}
 	out := w.scratch[:len(p)]
 	if w.pool.Workers() > 1 && len(p) >= parallelMin {
@@ -57,10 +61,28 @@ func (w *Workspace) ByVoxel(buf *particle.Buffer, nv int) {
 	} else {
 		w.sortSerial(p, out, nv)
 	}
-	w.pool.Range(len(p), func(lo, hi int) {
-		copy(p[lo:hi], out[lo:hi])
-	})
+	// Zero-copy completion: the buffer adopts the sorted scratch and the
+	// old storage becomes the next call's scratch. Each slice has exactly
+	// one owner at any time, so a workspace shared across several buffers
+	// (species) never aliases their storage.
+	w.scratch = buf.Swap(out)
 }
+
+// Data-motion model of one ByVoxel call (bytes per particle; the
+// particle record is 32 B).
+const (
+	// BytesPerParticleSorted is the zero-copy scheme's traffic: the count
+	// pass reads each particle once and the scatter pass reads and writes
+	// it once.
+	BytesPerParticleSorted = 3 * 32
+	// BytesPerParticleCopyBack is the pre-change scheme, which appended a
+	// read+write copy-back pass from scratch to the buffer.
+	BytesPerParticleCopyBack = 5 * 32
+)
+
+// TrafficBytes returns the estimated data motion of sorting n particles
+// under the zero-copy scheme.
+func TrafficBytes(n int) int64 { return int64(n) * BytesPerParticleSorted }
 
 // sortSerial is the classic single-threaded counting sort into out.
 func (w *Workspace) sortSerial(p, out []particle.Particle, nv int) {

@@ -137,6 +137,98 @@ func TestBlockedSortMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestSortAllOneVoxel(t *testing.T) {
+	// Degenerate histogram: every particle in one cell. The sort must be
+	// the identity permutation (stability) via the zero-copy swap.
+	b := particle.NewBuffer(100)
+	for i := 0; i < 100; i++ {
+		b.Append(particle.Particle{Voxel: 7, W: float32(i)})
+	}
+	w := NewWorkspace(16)
+	w.ByVoxel(b, 16)
+	for i, p := range b.P {
+		if p.W != float32(i) {
+			t.Fatalf("slot %d has tag %g, want %d", i, p.W, i)
+		}
+	}
+}
+
+func TestSortNVGrowthBetweenCalls(t *testing.T) {
+	// The counts slice must regrow when the same workspace later sees a
+	// bigger grid — and the zero-copy swap must stay coherent across the
+	// growth.
+	w := NewWorkspace(8)
+	small := randomBuffer(200, 8, 21)
+	w.ByVoxel(small, 8)
+	if !IsSorted(small.P) {
+		t.Fatal("small-nv sort failed")
+	}
+	big := randomBuffer(300, 2048, 22)
+	w.ByVoxel(big, 2048)
+	if !IsSorted(big.P) {
+		t.Fatal("sort after nv growth failed")
+	}
+	if !IsSorted(small.P) {
+		t.Fatal("earlier buffer corrupted by later sort (scratch aliasing)")
+	}
+}
+
+func TestSortWorkspaceSharedAcrossBuffers(t *testing.T) {
+	// One workspace serving several species: sorting B must not disturb
+	// A's storage even though A's old slice became the scratch.
+	w := NewWorkspace(64)
+	a := randomBuffer(1000, 64, 31)
+	bb := randomBuffer(1000, 64, 32)
+	w.ByVoxel(a, 64)
+	snapshot := append([]particle.Particle(nil), a.P...)
+	w.ByVoxel(bb, 64)
+	if !IsSorted(bb.P) {
+		t.Fatal("second buffer not sorted")
+	}
+	for i := range snapshot {
+		if a.P[i] != snapshot[i] {
+			t.Fatalf("buffer A slot %d mutated by sorting buffer B", i)
+		}
+	}
+}
+
+func TestBlockedSortStabilityAroundThreshold(t *testing.T) {
+	// Sizes straddling parallelMin: below it the pooled workspace takes
+	// the serial path, at/above it the blocked path. All must equal the
+	// nil-pool serial permutation bitwise.
+	for _, n := range []int{parallelMin - 1, parallelMin, parallelMin + 777} {
+		for _, workers := range []int{1, 3, 8} {
+			const nv = 127
+			serial := randomBuffer(n, nv, uint64(n))
+			blocked := randomBuffer(n, nv, uint64(n))
+			NewWorkspace(nv).ByVoxel(serial, nv)
+			wb := NewWorkspace(nv)
+			wb.SetPool(pipe.New(workers))
+			wb.ByVoxel(blocked, nv)
+			for i := range serial.P {
+				if serial.P[i] != blocked.P[i] {
+					t.Fatalf("n=%d W=%d: slot %d differs", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSortPreservesAppendHeadroom(t *testing.T) {
+	// The scratch is allocated with the buffer's capacity, so a sorted
+	// buffer keeps room for migrated-in particles without reallocating.
+	b := particle.NewBuffer(512)
+	src := rng.New(41, 0)
+	for i := 0; i < 100; i++ {
+		b.Append(particle.Particle{Voxel: int32(src.Intn(16))})
+	}
+	w := NewWorkspace(16)
+	w.ByVoxel(b, 16)
+	if cap(b.P) < 512 {
+		t.Fatalf("sort shrank buffer capacity to %d", cap(b.P))
+	}
+}
+
 func BenchmarkSort100k(b *testing.B) {
 	buf := randomBuffer(100000, 4096, 9)
 	w := NewWorkspace(4096)
