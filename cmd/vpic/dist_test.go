@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary act as the vpic CLI when re-executed
+// with VPIC_E2E_MAIN=1: the multi-process tests below spawn real rank
+// processes from the binary already built for this package.
+func TestMain(m *testing.M) {
+	if os.Getenv("VPIC_E2E_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// vpicCmd builds an exec.Cmd that re-runs this test binary as the CLI.
+func vpicCmd(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "VPIC_E2E_MAIN=1")
+	return cmd
+}
+
+// TestDistributedCRCMatchesInProcess is the end-to-end form of the
+// transport-transparency proof: the same deck run in one process and as
+// two forked rank processes over TCP must write byte-identical
+// state-CRC artifacts. This is exactly what the CI smoke step diffs.
+func TestDistributedCRCMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	dir := t.TempDir()
+	local := filepath.Join(dir, "crc-local.json")
+	dist := filepath.Join(dir, "crc-tcp.json")
+	deckArgs := []string{"-deck", "thermal", "-nx", "16", "-ppc", "8",
+		"-steps", "4", "-every", "4", "-ranks", "2", "-workers", "1"}
+
+	out, err := vpicCmd(append(deckArgs, "-state-crc", local)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("in-process run: %v\n%s", err, out)
+	}
+	out, err = vpicCmd(append(deckArgs, "-local-ranks", "2", "-state-crc", dist)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("distributed run: %v\n%s", err, out)
+	}
+
+	a, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("state CRC artifacts differ:\nin-process: %s\nTCP:        %s", a, b)
+	}
+	if !strings.Contains(string(out), "comm links:") {
+		t.Errorf("distributed run did not print the comm report:\n%s", out)
+	}
+}
+
+// TestDistributedPeerKillDetected kills one rank process mid-run and
+// requires the survivor to exit promptly with an attributed peer-death
+// error instead of hanging.
+func TestDistributedPeerKillDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := ln.Addr().String()
+	ln.Close()
+
+	// Enough steps that neither rank can finish before the kill.
+	common := []string{"-deck", "thermal", "-nx", "16", "-ppc", "8",
+		"-steps", "200000", "-every", "0", "-ranks", "2", "-workers", "1",
+		"-join", join, "-heartbeat", "50ms", "-peer-timeout", "500ms"}
+	r0 := vpicCmd(append(common, "-rank", "0")...)
+	var r0out bytes.Buffer
+	r0.Stdout, r0.Stderr = &r0out, &r0out
+	if err := r0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r0.Process.Kill()
+	r1 := vpicCmd(append(common, "-rank", "1")...)
+	if err := r1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Process.Kill()
+
+	// Let the world connect and take some steps, then kill rank 1.
+	time.Sleep(1500 * time.Millisecond)
+	if err := r1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	r1.Wait()
+
+	done := make(chan error, 1)
+	go func() { done <- r0.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("rank 0 exited cleanly after peer death:\n%s", r0out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("rank 0 hung after peer death (no failure detection):\n%s", r0out.String())
+	}
+	if !strings.Contains(r0out.String(), "dead") {
+		t.Errorf("rank 0's error does not attribute the dead peer:\n%s", r0out.String())
+	}
+}

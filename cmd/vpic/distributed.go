@@ -1,0 +1,340 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"govpic/internal/core"
+	"govpic/internal/deck"
+	"govpic/internal/diag"
+	"govpic/internal/dist"
+	"govpic/internal/domain"
+	"govpic/internal/output"
+	"govpic/internal/perf"
+	"govpic/internal/transport"
+)
+
+// distFlags carries the distributed-mode command line.
+type distFlags struct {
+	rank, ranks  int
+	join, listen string
+	heartbeat    time.Duration
+	peerTimeout  time.Duration
+	steps, every int
+	out          string // energy CSV (rank 0)
+	stateCRC     string // state fingerprint JSON (rank 0)
+	commJSON     string // per-rank comm stats JSON (rank 0)
+}
+
+// runDistributed executes this process's rank of a TCP-distributed run
+// and, on rank 0, emits the run summary and requested artifacts.
+func runDistributed(d deck.Deck, fl distFlags) error {
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	topts := transport.Options{
+		HeartbeatInterval: fl.heartbeat,
+		PeerTimeout:       fl.peerTimeout,
+	}
+	if fl.peerTimeout > 0 {
+		// -peer-timeout is the one failure-detection knob: scale the
+		// reconnect budget with it so a tightened timeout bounds the whole
+		// time-to-detection, not just the read deadline.
+		topts.DialTimeout = fl.peerTimeout
+		topts.ReconnectBackoff = fl.peerTimeout / 8
+		topts.ConnectAttempts = 4
+	}
+	res, err := dist.Run(d, fl.steps, fl.every, dist.Config{
+		Rank:      fl.rank,
+		Ranks:     fl.ranks,
+		Join:      fl.join,
+		Listen:    fl.listen,
+		Transport: topts,
+	}, logf)
+	if err != nil {
+		return err
+	}
+	if fl.rank != 0 {
+		return nil
+	}
+	last := res.History.Samples[len(res.History.Samples)-1]
+	fmt.Printf("t = %.3f  field E = %.4g  field B = %.4g  kinetic = %.4g  total = %.4g\n",
+		last.Time, last.EField, last.BField, sum(last.Kinetic), last.Total)
+	fmt.Printf("relative energy drift: %.3g\n", res.History.RelativeDrift())
+	fmt.Printf("state CRCs:")
+	for _, c := range res.CRCs {
+		fmt.Printf(" %08x", c)
+	}
+	fmt.Println()
+	printCommTables(allReportLinks(res.Reports), allReportClasses(res.Reports))
+	if fl.stateCRC != "" {
+		if err := writeStateCRCFile(fl.stateCRC, d.Name, res.Steps, res.Ranks, res.CRCs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", fl.stateCRC)
+	}
+	if fl.commJSON != "" {
+		if err := writeCommJSON(fl.commJSON, res.Reports); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", fl.commJSON)
+	}
+	if fl.out != "" {
+		if err := writeEnergyCSV(fl.out, &res.History); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", fl.out)
+	}
+	return nil
+}
+
+// stateCRCFile is the artifact the CI smoke test diffs between the
+// in-process and TCP runs; both paths must produce identical bytes for
+// identical state.
+type stateCRCFile struct {
+	Deck  string   `json:"deck"`
+	Steps int      `json:"steps"`
+	Ranks int      `json:"ranks"`
+	CRCs  []string `json:"crcs"`
+}
+
+func writeStateCRCFile(path, deckName string, steps, ranks int, crcs []uint32) error {
+	rec := stateCRCFile{Deck: deckName, Steps: steps, Ranks: ranks}
+	for _, c := range crcs {
+		rec.CRCs = append(rec.CRCs, fmt.Sprintf("%08x", c))
+	}
+	return output.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	})
+}
+
+func writeCommJSON(path string, reports []dist.RankReport) error {
+	return output.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	})
+}
+
+func writeEnergyCSV(path string, hist *diag.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows := make([][]float64, len(hist.Samples))
+	for i, smp := range hist.Samples {
+		rows[i] = []float64{float64(smp.Step), smp.Time, smp.EField, smp.BField, sum(smp.Kinetic), smp.Total}
+	}
+	return diag.WriteCSV(f, []string{"step", "time", "efield", "bfield", "kinetic", "total"}, rows)
+}
+
+func allReportLinks(reports []dist.RankReport) []perf.CommLinkStat {
+	var out []perf.CommLinkStat
+	for _, r := range reports {
+		out = append(out, r.Links...)
+	}
+	return out
+}
+
+// allReportClasses sums the per-rank class traffic.
+func allReportClasses(reports []dist.RankReport) []domain.ClassStat {
+	order := []string{}
+	totals := map[string]*domain.ClassStat{}
+	for _, r := range reports {
+		for _, c := range r.Classes {
+			t := totals[c.Class]
+			if t == nil {
+				t = &domain.ClassStat{Class: c.Class}
+				totals[c.Class] = t
+				order = append(order, c.Class)
+			}
+			t.Bytes += c.Bytes
+			t.Msgs += c.Msgs
+		}
+	}
+	out := make([]domain.ClassStat, 0, len(order))
+	for _, name := range order {
+		out = append(out, *totals[name])
+	}
+	return out
+}
+
+// printCommTables writes the per-link and per-class traffic tables of
+// the run report.
+func printCommTables(links []perf.CommLinkStat, classes []domain.ClassStat) {
+	if len(links) > 0 {
+		fmt.Print("comm links:\n", perf.CommReport(links))
+	}
+	if len(classes) > 0 {
+		fmt.Println("comm traffic by class:")
+		fmt.Printf("  %-12s %14s %10s\n", "class", "bytes", "msgs")
+		for _, c := range classes {
+			fmt.Printf("  %-12s %14d %10d\n", c.Class, c.Bytes, c.Msgs)
+		}
+	}
+}
+
+// inProcessReports builds the same per-rank report structure a
+// distributed run exchanges, from an in-process simulation — the two
+// comm-json artifacts are directly comparable.
+func inProcessReports(sim *core.Simulation) []dist.RankReport {
+	reports := make([]dist.RankReport, len(sim.Ranks))
+	for r, rk := range sim.Ranks {
+		reports[r] = dist.RankReport{
+			Rank:    r,
+			CRC:     fmt.Sprintf("%08x", rk.StateCRC()),
+			Classes: rk.D.ClassTraffic(),
+		}
+		if st := rk.D.Comm.Stats(); st != nil {
+			reports[r].Links = st.Snapshot()
+		}
+	}
+	return reports
+}
+
+// classRecords converts class traffic to bench-record rows.
+func classRecords(classes []domain.ClassStat, steps int) []output.CommClassRecord {
+	out := make([]output.CommClassRecord, 0, len(classes))
+	for _, c := range classes {
+		rec := output.CommClassRecord{Class: c.Class, Bytes: c.Bytes, Msgs: c.Msgs}
+		if steps > 0 {
+			rec.BytesPerStep = float64(c.Bytes) / float64(steps)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// linkRecords converts link counters to bench-record rows.
+func linkRecords(links []perf.CommLinkStat) []output.CommLinkRecord {
+	out := make([]output.CommLinkRecord, 0, len(links))
+	for _, l := range links {
+		out = append(out, output.CommLinkRecord{
+			Link:      l.Label(),
+			BytesSent: l.BytesSent, MsgsSent: l.MsgsSent,
+			BytesRecv: l.BytesRecv, MsgsRecv: l.MsgsRecv,
+			RTTP50Micros: l.RTT.P50Micros, RTTP99Micros: l.RTT.P99Micros,
+		})
+	}
+	return out
+}
+
+// launchLocal forks n child processes of this binary, one per rank, on
+// a fresh localhost rendezvous port, prefixing each child's output with
+// its rank. Any child failing kills the rest. Returns the exit code.
+func launchLocal(n int, rawArgs []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	join, err := freeLocalAddr()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	base := stripFlag(rawArgs, "local-ranks")
+	cmds := make([]*exec.Cmd, n)
+	var pipes sync.WaitGroup
+	for i := 0; i < n; i++ {
+		args := append(append([]string{}, base...),
+			"-ranks", strconv.Itoa(n), "-rank", strconv.Itoa(i), "-join", join)
+		cmd := exec.Command(exe, args...)
+		stdout, err1 := cmd.StdoutPipe()
+		stderr, err2 := cmd.StderrPipe()
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(os.Stderr, "pipe:", err1, err2)
+			return 1
+		}
+		prefix := fmt.Sprintf("[rank %d] ", i)
+		pipes.Add(2)
+		go pipePrefixed(&pipes, stdout, os.Stdout, prefix)
+		go pipePrefixed(&pipes, stderr, os.Stderr, prefix)
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "starting rank %d: %v\n", i, err)
+			killAll(cmds)
+			return 1
+		}
+		cmds[i] = cmd
+	}
+	type childExit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan childExit, n)
+	for i, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) { exits <- childExit{rank, cmd.Wait()} }(i, cmd)
+	}
+	code := 0
+	for range cmds {
+		e := <-exits
+		if e.err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d failed: %v\n", e.rank, e.err)
+			if code == 0 {
+				code = 1
+				killAll(cmds)
+			}
+		}
+	}
+	pipes.Wait()
+	return code
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, c := range cmds {
+		if c != nil && c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+}
+
+func pipePrefixed(wg *sync.WaitGroup, r io.Reader, w io.Writer, prefix string) {
+	defer wg.Done()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fmt.Fprintf(w, "%s%s\n", prefix, sc.Text())
+	}
+}
+
+// freeLocalAddr reserves a localhost port by binding and releasing it.
+func freeLocalAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// stripFlag removes every occurrence of -name/--name (with a separate
+// or attached value) from args.
+func stripFlag(args []string, name string) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		trimmed := strings.TrimLeft(a, "-")
+		if trimmed == name {
+			i++ // skip the value
+			continue
+		}
+		if strings.HasPrefix(trimmed, name+"=") && strings.HasPrefix(a, "-") {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}

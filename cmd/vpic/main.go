@@ -46,8 +46,24 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the step loop here")
 		memProf = flag.String("memprofile", "", "write a heap profile here at the end")
 		benchJS = flag.String("bench-json", "", "write a machine-readable benchmark record: a .json path, or a directory for BENCH_<date>.json")
+
+		// Distributed mode: -local-ranks forks one process per rank on
+		// this machine; -rank/-join runs one rank of a (possibly
+		// multi-machine) TCP world.
+		rank       = flag.Int("rank", -1, "this process's rank in a distributed run (-1 = in-process)")
+		join       = flag.String("join", "", "rendezvous address (rank 0 listens here, peers dial it)")
+		listen     = flag.String("listen", "", "mesh listen address of this rank (default: any port)")
+		localRanks = flag.Int("local-ranks", 0, "fork N local processes, one per rank, over TCP")
+		stateCRC   = flag.String("state-crc", "", "write the per-rank state CRC fingerprint JSON here")
+		commJSON   = flag.String("comm-json", "", "write per-rank comm link/class stats JSON here")
+		heartbeat  = flag.Duration("heartbeat", 0, "transport heartbeat interval (0 = default)")
+		peerTO     = flag.Duration("peer-timeout", 0, "transport failure-detection timeout (0 = default)")
 	)
 	flag.Parse()
+
+	if *localRanks > 1 {
+		os.Exit(launchLocal(*localRanks, os.Args[1:]))
+	}
 
 	var d deck.Deck
 	var err error
@@ -71,6 +87,21 @@ func main() {
 	}
 	if *workers != 0 {
 		d.Cfg.Workers = *workers
+	}
+	if *rank >= 0 {
+		if *join == "" {
+			log.Fatal("-rank needs -join (the rendezvous address)")
+		}
+		err := runDistributed(d, distFlags{
+			rank: *rank, ranks: *ranks, join: *join, listen: *listen,
+			heartbeat: *heartbeat, peerTimeout: *peerTO,
+			steps: *steps, every: *every,
+			out: *out, stateCRC: *stateCRC, commJSON: *commJSON,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	sim, err := d.New()
 	if err != nil {
@@ -132,6 +163,21 @@ func main() {
 	fmt.Printf("relative energy drift: %.3g\n", hist.RelativeDrift())
 	b := sim.PerfBreakdown()
 	fmt.Print(b.Report())
+	if d.Cfg.NRanks > 1 {
+		printCommTables(sim.CommLinks(), sim.CommTraffic())
+	}
+	if *stateCRC != "" {
+		if err := writeStateCRCFile(*stateCRC, d.Name, sim.StepCount(), d.Cfg.NRanks, sim.StateCRCs()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *stateCRC)
+	}
+	if *commJSON != "" {
+		if err := writeCommJSON(*commJSON, inProcessReports(sim)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *commJSON)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -225,6 +271,8 @@ func main() {
 			GFlopPerS:   float64(sim.Flops()) / wall.Seconds() / 1e9,
 			PushEffGBs:  pb.EffectiveGBs(perf.Push),
 			Sections:    secs,
+			CommTraffic: classRecords(sim.CommTraffic(), sim.StepCount()),
+			CommLinks:   linkRecords(sim.CommLinks()),
 		}
 		err := output.WriteFileAtomic(path, func(w io.Writer) error {
 			return output.WriteBench(w, rec)

@@ -105,25 +105,7 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	c.u64(uint64(s.step))
 	c.f64(s.time)
 	for _, rk := range s.Ranks {
-		f := rk.D.F
-		for _, a := range [][]float32{f.Ex, f.Ey, f.Ez, f.Bx, f.By, f.Bz, f.Jx, f.Jy, f.Jz} {
-			c.f32s(a)
-		}
-		if rk.rho0 != nil {
-			c.u64(1)
-			c.f32s(rk.rho0)
-		} else {
-			c.u64(0)
-		}
-		for _, sp := range rk.Species {
-			c.u64(uint64(sp.Buf.N()))
-			for i := range sp.Buf.P {
-				p := &sp.Buf.P[i]
-				c.f32s([]float32{p.Dx, p.Dy, p.Dz})
-				c.u64(uint64(uint32(p.Voxel)))
-				c.f32s([]float32{p.Ux, p.Uy, p.Uz, p.W})
-			}
-		}
+		rk.writeState(c)
 	}
 	if c.err != nil {
 		return c.err
@@ -134,6 +116,50 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeState serializes this rank's dynamic state — fields, background
+// and particles — in the canonical checkpoint order.
+func (rk *Rank) writeState(c *cpWriter) {
+	f := rk.D.F
+	for _, a := range [][]float32{f.Ex, f.Ey, f.Ez, f.Bx, f.By, f.Bz, f.Jx, f.Jy, f.Jz} {
+		c.f32s(a)
+	}
+	if rk.rho0 != nil {
+		c.u64(1)
+		c.f32s(rk.rho0)
+	} else {
+		c.u64(0)
+	}
+	for _, sp := range rk.Species {
+		c.u64(uint64(sp.Buf.N()))
+		for i := range sp.Buf.P {
+			p := &sp.Buf.P[i]
+			c.f32s([]float32{p.Dx, p.Dy, p.Dz})
+			c.u64(uint64(uint32(p.Voxel)))
+			c.f32s([]float32{p.Ux, p.Uy, p.Uz, p.W})
+		}
+	}
+}
+
+// StateCRC fingerprints this rank's dynamic state: the CRC32 (IEEE) of
+// its canonical checkpoint serialization. Two ranks computing the same
+// tile — whether hosted in one process or across a network — produce
+// identical CRCs exactly when their states are bit-identical, which is
+// how the distributed smoke tests prove transport transparency.
+func (rk *Rank) StateCRC() uint32 {
+	h := crc32.NewIEEE()
+	rk.writeState(&cpWriter{w: h})
+	return h.Sum32()
+}
+
+// StateCRCs returns every rank's StateCRC in rank order.
+func (s *Simulation) StateCRCs() []uint32 {
+	out := make([]uint32, len(s.Ranks))
+	for r, rk := range s.Ranks {
+		out[r] = rk.StateCRC()
+	}
+	return out
 }
 
 // Restore loads a checkpoint written by a simulation with the same

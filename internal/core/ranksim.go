@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"govpic/internal/diag"
+	"govpic/internal/domain"
+	"govpic/internal/mp"
+	"govpic/internal/perf"
+)
+
+// RankSim is one rank's view of a distributed simulation: the same
+// per-rank state and step path Simulation drives in-process, but owning
+// only this rank's tile and synchronizing with its peers through the
+// Comm's transport (typically transport.Connect's TCP mesh). Because
+// stepOnce, the loaders and the reduction orders are shared verbatim
+// with Simulation, a RankSim world produces bit-identical state.
+type RankSim struct {
+	Cfg  Config
+	Rank *Rank
+
+	comm *mp.Comm
+	step int
+	time float64
+}
+
+// NewRankSim builds this rank's tile of a cfg.NRanks-rank world on the
+// given communicator and runs the communicating initialization phases
+// in lockstep with the peers (every rank of the world must call
+// NewRankSim concurrently).
+func NewRankSim(cfg Config, comm *mp.Comm) (*RankSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NRanks != comm.Size() {
+		return nil, fmt.Errorf("core: config wants %d ranks, world has %d", cfg.NRanks, comm.Size())
+	}
+	dcfg, err := DomainConfig(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := newRank(&cfg, dcfg, comm)
+	if err != nil {
+		return nil, err
+	}
+	rs := &RankSim{Cfg: cfg, Rank: rk, comm: comm}
+	if err := rk.initDecomposed(&cfg); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Comm returns the rank's communicator.
+func (rs *RankSim) Comm() *mp.Comm { return rs.comm }
+
+// Step advances this rank one time step, synchronizing with peers
+// through the domain exchanges exactly as Simulation.Step does.
+func (rs *RankSim) Step() {
+	doClean := rs.Cfg.CleanInterval > 0 && rs.step > 0 && rs.step%rs.Cfg.CleanInterval == 0
+	rs.Rank.stepOnce(&rs.Cfg, rs.time, rs.step, doClean)
+	rs.step++
+	rs.time += rs.Cfg.DT
+}
+
+// Run advances n steps.
+func (rs *RankSim) Run(n int) {
+	for i := 0; i < n; i++ {
+		rs.Step()
+	}
+}
+
+// RunContext advances until `until` total steps, stopping early on
+// cancellation; progress (if non-nil) runs after every step while the
+// rank is quiescent.
+func (rs *RankSim) RunContext(ctx context.Context, until int, progress func(step int)) error {
+	for rs.step < until {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rs.Step()
+		if progress != nil {
+			progress(rs.step)
+		}
+	}
+	return nil
+}
+
+// StepCount returns the number of completed steps.
+func (rs *RankSim) StepCount() int { return rs.step }
+
+// Time returns the current simulation time.
+func (rs *RankSim) Time() float64 { return rs.time }
+
+// StateCRC fingerprints this rank's dynamic state (see Rank.StateCRC).
+func (rs *RankSim) StateCRC() uint32 { return rs.Rank.StateCRC() }
+
+// Energy gathers the global energy sample — a collective; every rank
+// must call it at the same step. The per-component sums reduce in rank
+// order, so the sample is bit-identical to Simulation.Energy on the
+// same deck.
+func (rs *RankSim) Energy() diag.EnergySample {
+	rk := rs.Rank
+	sample := diag.EnergySample{
+		Step:    rs.step,
+		Time:    rs.time,
+		Kinetic: make([]float64, len(rs.Cfg.Species)),
+	}
+	sample.EField = rs.comm.AllreduceSum(rk.D.F.EnergyE())
+	sample.BField = rs.comm.AllreduceSum(rk.D.F.EnergyB())
+	for i, sp := range rk.Species {
+		sample.Kinetic[i] = rs.comm.AllreduceSum(sp.KineticEnergy())
+	}
+	_, dbe := rk.D.F.DivB(rk.scratch)
+	sample.DivBError = rs.comm.AllreduceMax(dbe)
+	sample.Total = sample.EField + sample.BField
+	for _, k := range sample.Kinetic {
+		sample.Total += k
+	}
+	return sample
+}
+
+// CommLinks returns this rank's per-link transport counters.
+func (rs *RankSim) CommLinks() []perf.CommLinkStat {
+	if st := rs.comm.Stats(); st != nil {
+		return st.Snapshot()
+	}
+	return nil
+}
+
+// CommTraffic returns this rank's sent traffic by exchange class.
+func (rs *RankSim) CommTraffic() []domain.ClassStat { return rs.Rank.D.ClassTraffic() }
+
+// PerfBreakdown returns this rank's kernel timings.
+func (rs *RankSim) PerfBreakdown() perf.Breakdown { return rs.Rank.Perf }

@@ -70,129 +70,168 @@ func New(cfg Config) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dec, err := grid.ChooseDecomp(cfg.NRanks, cfg.NX, cfg.NY, cfg.NZ)
+	dcfg, err := DomainConfig(&cfg)
 	if err != nil {
 		return nil, err
 	}
-	dcfg := domain.Config{
-		Dec: dec, DX: cfg.DX, DY: cfg.DY, DZ: cfg.DZ,
-		X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0,
-		FieldBC: cfg.FieldBC, ParticleBC: cfg.ParticleBC,
-	}
 	world := mp.NewWorld(cfg.NRanks)
 	s := &Simulation{Cfg: cfg, World: world, Ranks: make([]*Rank, cfg.NRanks)}
-	gl := loader.Global{NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ, X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0}
 
 	for r := 0; r < cfg.NRanks; r++ {
-		d, err := domain.New(dcfg, world.Comm(r))
+		rk, err := newRank(&cfg, dcfg, world.Comm(r))
 		if err != nil {
 			return nil, err
-		}
-		rk := &Rank{
-			D:   d,
-			IP:  interp.NewTable(d.G),
-			Acc: accum.New(d.G),
-		}
-		rk.sortWS = psort.NewWorkspace(d.G.NV())
-		rk.rho = make([]float32, d.G.NV())
-		rk.scratch = make([]float32, d.G.NV())
-		rk.pool = pipe.New(cfg.Workers)
-		rk.sortWS.SetPool(rk.pool)
-		if !cfg.UseReferencePusher {
-			rk.pipeAcc = make([]*accum.Array, pipe.NumBlocks)
-			rk.blockSt = make([]*push.BlockState, pipe.NumBlocks)
-			for b := range rk.pipeAcc {
-				rk.pipeAcc[b] = accum.New(d.G)
-				rk.blockSt[b] = new(push.BlockState)
-			}
-		}
-
-		for i, sc := range cfg.Species {
-			sp, err := species.New(sc.Name, sc.Q, sc.M, sc.SortInterval)
-			if err != nil {
-				return nil, err
-			}
-			switch {
-			case sc.NeutralizePrevious:
-				prev := rk.Species[i-1]
-				uth := [3]float64{}
-				if sc.Load != nil {
-					uth = sc.Load.Uth
-				}
-				seed := uint64(1)
-				if sc.Load != nil {
-					seed = sc.Load.Seed
-				}
-				if err := loader.LoadNeutralizing(prev.Buf, sc.Q, uth, seed, sp.Buf); err != nil {
-					return nil, err
-				}
-			case sc.Load != nil:
-				if _, err := loader.Load(d.G, gl, *sc.Load, sp.Buf); err != nil {
-					return nil, err
-				}
-			}
-			k := push.NewKernel(d.G, rk.IP, rk.Acc, sp.Q, sp.M, cfg.DT)
-			k.Bound = d.ParticleActions()
-			rk.Species = append(rk.Species, sp)
-			rk.Kernels = append(rk.Kernels, k)
-			var op *collision.Operator
-			if sc.Collision != nil {
-				uthRef := 0.01
-				if sc.Load != nil && sc.Load.Uth[0] > 0 {
-					uthRef = sc.Load.Uth[0]
-				}
-				op, err = collision.New(sc.Collision.Nu0, uthRef, sc.Collision.Interval, 0xc0111de, r*len(cfg.Species)+i)
-				if err != nil {
-					return nil, err
-				}
-			}
-			rk.Colliders = append(rk.Colliders, op)
-		}
-		rk.bufs = make([]*particle.Buffer, len(rk.Species))
-		for i, sp := range rk.Species {
-			rk.bufs[i] = sp.Buf
-		}
-		// Pre-size hot-path scratch (movers, outgoing faces, per-block
-		// mover lists) so steady-state steps allocate nothing.
-		for i, sp := range rk.Species {
-			n := sp.Buf.N()
-			rk.Kernels[i].Prealloc(n/16+64, n/64+16)
-		}
-		for _, bs := range rk.blockSt {
-			bs.Movers = make([]particle.Mover, 0, 1024)
-		}
-		// Initial sort for locality.
-		for _, sp := range rk.Species {
-			if sp.SortInterval > 0 {
-				rk.sortWS.ByVoxel(sp.Buf, d.G.NV())
-			}
 		}
 		s.Ranks[r] = rk
 	}
 
+	// Background capture and ghost priming involve collectives, so all
+	// ranks must run them concurrently.
+	errs := make([]error, cfg.NRanks)
+	s.onAllRanks(func(rk *Rank) {
+		errs[rk.D.Rank] = rk.initDecomposed(&cfg)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// DomainConfig derives the decomposed-domain configuration (including
+// the rank decomposition) from a validated simulation config. Every
+// rank of a world — in-process or distributed — must derive the same
+// one, so loading stays decomposition-invariant.
+func DomainConfig(cfg *Config) (domain.Config, error) {
+	dec, err := grid.ChooseDecomp(cfg.NRanks, cfg.NX, cfg.NY, cfg.NZ)
+	if err != nil {
+		return domain.Config{}, err
+	}
+	return domain.Config{
+		Dec: dec, DX: cfg.DX, DY: cfg.DY, DZ: cfg.DZ,
+		X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0,
+		FieldBC: cfg.FieldBC, ParticleBC: cfg.ParticleBC,
+	}, nil
+}
+
+// newRank builds one rank's tile: domain, kernels, species loading
+// (decomposition-invariant) and scratch. It performs no communication,
+// so ranks can be built in any order, on one process or many.
+func newRank(cfg *Config, dcfg domain.Config, comm *mp.Comm) (*Rank, error) {
+	d, err := domain.New(dcfg, comm)
+	if err != nil {
+		return nil, err
+	}
+	gl := loader.Global{NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ, X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0}
+	r := comm.Rank()
+	rk := &Rank{
+		D:   d,
+		IP:  interp.NewTable(d.G),
+		Acc: accum.New(d.G),
+	}
+	rk.sortWS = psort.NewWorkspace(d.G.NV())
+	rk.rho = make([]float32, d.G.NV())
+	rk.scratch = make([]float32, d.G.NV())
+	rk.pool = pipe.New(cfg.Workers)
+	rk.sortWS.SetPool(rk.pool)
+	if !cfg.UseReferencePusher {
+		rk.pipeAcc = make([]*accum.Array, pipe.NumBlocks)
+		rk.blockSt = make([]*push.BlockState, pipe.NumBlocks)
+		for b := range rk.pipeAcc {
+			rk.pipeAcc[b] = accum.New(d.G)
+			rk.blockSt[b] = new(push.BlockState)
+		}
+	}
+
+	for i, sc := range cfg.Species {
+		sp, err := species.New(sc.Name, sc.Q, sc.M, sc.SortInterval)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sc.NeutralizePrevious:
+			prev := rk.Species[i-1]
+			uth := [3]float64{}
+			if sc.Load != nil {
+				uth = sc.Load.Uth
+			}
+			seed := uint64(1)
+			if sc.Load != nil {
+				seed = sc.Load.Seed
+			}
+			if err := loader.LoadNeutralizing(prev.Buf, sc.Q, uth, seed, sp.Buf); err != nil {
+				return nil, err
+			}
+		case sc.Load != nil:
+			if _, err := loader.Load(d.G, gl, *sc.Load, sp.Buf); err != nil {
+				return nil, err
+			}
+		}
+		k := push.NewKernel(d.G, rk.IP, rk.Acc, sp.Q, sp.M, cfg.DT)
+		k.Bound = d.ParticleActions()
+		rk.Species = append(rk.Species, sp)
+		rk.Kernels = append(rk.Kernels, k)
+		var op *collision.Operator
+		if sc.Collision != nil {
+			uthRef := 0.01
+			if sc.Load != nil && sc.Load.Uth[0] > 0 {
+				uthRef = sc.Load.Uth[0]
+			}
+			op, err = collision.New(sc.Collision.Nu0, uthRef, sc.Collision.Interval, 0xc0111de, r*len(cfg.Species)+i)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rk.Colliders = append(rk.Colliders, op)
+	}
+	rk.bufs = make([]*particle.Buffer, len(rk.Species))
+	for i, sp := range rk.Species {
+		rk.bufs[i] = sp.Buf
+	}
+	// Pre-size hot-path scratch (movers, outgoing faces, per-block
+	// mover lists) so steady-state steps allocate nothing.
+	for i, sp := range rk.Species {
+		n := sp.Buf.N()
+		rk.Kernels[i].Prealloc(n/16+64, n/64+16)
+	}
+	for _, bs := range rk.blockSt {
+		bs.Movers = make([]particle.Mover, 0, 1024)
+	}
+	// Initial sort for locality.
+	for _, sp := range rk.Species {
+		if sp.SortInterval > 0 {
+			rk.sortWS.ByVoxel(sp.Buf, d.G.NV())
+		}
+	}
+	return rk, nil
+}
+
+// initDecomposed finishes a rank's initialization with the phases that
+// communicate: the neutralizing-background capture and the first ghost
+// and interpolator prime. Every rank of the world must call it
+// concurrently. The message order per link is deterministic, so fusing
+// the phases is behavior-identical to running them under separate
+// barriers.
+func (rk *Rank) initDecomposed(cfg *Config) error {
 	// Neutralizing background: capture −ρ(t=0) so cleaning targets
 	// ρ_mobile − ρ_initial (consistent with the E=0 start).
 	if cfg.NeutralizingBackground {
-		s.onAllRanks(func(rk *Rank) {
-			rk.rho0 = make([]float32, rk.D.G.NV())
-			rk.depositAllRho(rk.rho0)
-			// Fold boundary-plane aliases exactly like the per-step ρ, or
-			// the background would be short by the ghost contributions.
-			rk.D.F.FoldNodeScalar(rk.rho0)
-			rk.D.ExchangeNodeScalar(rk.rho0)
-			negate(rk.rho0)
-		})
+		rk.rho0 = make([]float32, rk.D.G.NV())
+		rk.depositAllRho(rk.rho0)
+		// Fold boundary-plane aliases exactly like the per-step ρ, or
+		// the background would be short by the ghost contributions.
+		rk.D.F.FoldNodeScalar(rk.rho0)
+		rk.D.ExchangeNodeScalar(rk.rho0)
+		negate(rk.rho0)
 	}
-
 	// Prime ghost planes and interpolators.
-	s.onAllRanks(func(rk *Rank) {
-		rk.D.F.UpdateGhostE()
-		rk.D.F.UpdateGhostB()
-		rk.D.ExchangeGhostE()
-		rk.D.ExchangeGhostB()
-		rk.IP.Load(rk.D.F)
-	})
-	return s, nil
+	rk.D.F.UpdateGhostE()
+	rk.D.F.UpdateGhostB()
+	rk.D.ExchangeGhostE()
+	rk.D.ExchangeGhostB()
+	rk.IP.Load(rk.D.F)
+	return nil
 }
 
 func negate(a []float32) {
@@ -527,6 +566,39 @@ func (s *Simulation) CommBytes() int64 {
 		n += rk.D.CommBytes
 	}
 	return n
+}
+
+// CommLinks returns every rank's per-link transport counters,
+// concatenated in rank order (empty when the transport keeps none or
+// no traffic flowed).
+func (s *Simulation) CommLinks() []perf.CommLinkStat {
+	var out []perf.CommLinkStat
+	for _, rk := range s.Ranks {
+		if st := rk.D.Comm.Stats(); st != nil {
+			out = append(out, st.Snapshot()...)
+		}
+	}
+	return out
+}
+
+// CommTraffic returns the sent traffic summed over ranks, broken down
+// by exchange class (ghost planes, current folds, particle migration).
+func (s *Simulation) CommTraffic() []domain.ClassStat {
+	var bytes, msgs [domain.NumCommClasses]int64
+	for _, rk := range s.Ranks {
+		for c := 0; c < int(domain.NumCommClasses); c++ {
+			bytes[c] += rk.D.ClassBytes[c]
+			msgs[c] += rk.D.ClassMsgs[c]
+		}
+	}
+	out := make([]domain.ClassStat, 0, domain.NumCommClasses)
+	for c := domain.CommClass(0); c < domain.NumCommClasses; c++ {
+		if msgs[c] == 0 {
+			continue
+		}
+		out = append(out, domain.ClassStat{Class: c.String(), Bytes: bytes[c], Msgs: msgs[c]})
+	}
+	return out
 }
 
 // RankAt returns the rank whose tile contains global x (quasi-1D

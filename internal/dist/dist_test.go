@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"govpic/internal/core"
+	"govpic/internal/deck"
+	"govpic/internal/grid"
+	"govpic/internal/transport"
+)
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDistributedMatchesInProcess is the transport-transparency proof:
+// a 4-rank (2×2×1-decomposed) thermal deck run over real TCP sockets
+// must leave bit-identical per-rank state — same checkpoint CRCs, same
+// global energy bits — as the identical deck on the in-process channel
+// world.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	const ranks, steps = 4, 8
+	mk := func() deck.Deck { return deck.Thermal(8, 8, 4, 8, ranks, 0.2, 0.05) }
+
+	// The point of 4 ranks is a 2-D decomposition: verify the chosen
+	// layout really is 2×2×1 so both x and y links carry traffic.
+	dec, err := grid.ChooseDecomp(ranks, 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.PX != 2 || dec.PY != 2 || dec.PZ != 1 {
+		t.Fatalf("decomposition is %d×%d×%d, want 2×2×1", dec.PX, dec.PY, dec.PZ)
+	}
+
+	// Reference: the in-process channel world.
+	ref := mk()
+	sim, err := ref.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(steps)
+	wantCRCs := sim.StateCRCs()
+	wantE := sim.Energy()
+
+	// Same deck, four processes' worth of ranks over localhost TCP.
+	join := freeAddr(t)
+	opts := transport.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		PeerTimeout:       2 * time.Second,
+		RendezvousTimeout: 20 * time.Second,
+	}
+	results := make([]*Result, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank], errs[rank] = Run(mk(), steps, steps, Config{
+				Rank: rank, Ranks: ranks, Join: join, Listen: "127.0.0.1:0",
+				Transport: opts,
+			}, nil)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	for r := 0; r < ranks; r++ {
+		res := results[r]
+		if len(res.CRCs) != ranks {
+			t.Fatalf("rank %d has %d CRCs", r, len(res.CRCs))
+		}
+		for i, crc := range res.CRCs {
+			if crc != wantCRCs[i] {
+				t.Errorf("rank %d's view: CRC[%d] = %08x over TCP, %08x in-process", r, i, crc, wantCRCs[i])
+			}
+		}
+	}
+
+	// Global energy must match to the bit (rank-ordered reductions).
+	got := results[0].History.Samples[len(results[0].History.Samples)-1]
+	if math.Float64bits(got.EField) != math.Float64bits(wantE.EField) ||
+		math.Float64bits(got.BField) != math.Float64bits(wantE.BField) {
+		t.Errorf("field energy differs: TCP (%x, %x) vs in-process (%x, %x)",
+			math.Float64bits(got.EField), math.Float64bits(got.BField),
+			math.Float64bits(wantE.EField), math.Float64bits(wantE.BField))
+	}
+	for i := range got.Kinetic {
+		if math.Float64bits(got.Kinetic[i]) != math.Float64bits(wantE.Kinetic[i]) {
+			t.Errorf("kinetic[%d] differs over TCP", i)
+		}
+	}
+
+	// The comm reports must show ghost and particle traffic on every rank.
+	for _, rep := range results[0].Reports {
+		if len(rep.Links) == 0 {
+			t.Errorf("rank %d reports no link traffic", rep.Rank)
+		}
+		classes := map[string]bool{}
+		for _, c := range rep.Classes {
+			classes[c.Class] = true
+		}
+		for _, want := range []string{"ghostE", "ghostB", "foldJ", "particles"} {
+			if !classes[want] {
+				t.Errorf("rank %d reports no %s traffic", rep.Rank, want)
+			}
+		}
+	}
+}
+
+// TestRejectsSetupDecks: decks with a global-setup hook cannot run
+// distributed and must be refused up front.
+func TestRejectsSetupDecks(t *testing.T) {
+	dk := deck.Thermal(8, 4, 4, 8, 2, 0.2, 0.05)
+	dk.Setup = func(*core.Simulation) error { return nil }
+	_, err := Run(dk, 1, 1, Config{Rank: 0, Ranks: 2, Join: "127.0.0.1:1"}, nil)
+	if err == nil {
+		t.Fatal("deck with Setup must be rejected")
+	}
+}

@@ -54,6 +54,10 @@ type Domain struct {
 
 	// CommBytes counts payload bytes sent by this rank (perf model input).
 	CommBytes int64
+	// ClassBytes/ClassMsgs break the sent traffic down by CommClass —
+	// the comm baseline reports read these.
+	ClassBytes [NumCommClasses]int64
+	ClassMsgs  [NumCommClasses]int64
 }
 
 // New builds rank comm.Rank()'s tile of the global domain.
@@ -219,7 +223,7 @@ func (d *Domain) send(dst, tag int, arrs [][]float32, axis, idx int) {
 			buf = append(buf, a[v])
 		}
 	})
-	d.CommBytes += int64(4 * len(buf))
+	d.countSend(tag, 4*len(buf))
 	d.Comm.Send(dst, tag, buf)
 }
 
@@ -328,25 +332,25 @@ func (d *Domain) exchangeParticlesSweep(kernels []*push.Kernel, bufs []*particle
 			// Always exchange on remote faces, even empty lists: the
 			// protocol is deterministic.
 			if d.remote[lo] {
-				out := append([]push.Outgoing(nil), k.Out[lo]...)
+				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[lo]...))
 				k.Out[lo] = k.Out[lo][:0]
-				d.CommBytes += int64(len(out)) * 44
+				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
 				d.Comm.Send(d.nbr[lo], tagPart+16*s+int(lo), out)
 			}
 			if d.remote[hi] {
-				out := append([]push.Outgoing(nil), k.Out[hi]...)
+				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[hi]...))
 				k.Out[hi] = k.Out[hi][:0]
-				d.CommBytes += int64(len(out)) * 44
+				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
 				d.Comm.Send(d.nbr[hi], tagPart+16*s+int(hi), out)
 			}
 			// Receive lo-tagged first (same-neighbor link ordering; see
 			// exchangeGhost). The low neighbor sent through its hi face.
 			if d.remote[hi] {
-				in := d.Comm.Recv(d.nbr[hi], tagPart+16*s+int(lo)).([]push.Outgoing)
+				in := d.Comm.Recv(d.nbr[hi], tagPart+16*s+int(lo)).(push.OutgoingBatch)
 				d.landParticles(k, bufs[s], in, axis, n[axis], n, strides)
 			}
 			if d.remote[lo] {
-				in := d.Comm.Recv(d.nbr[lo], tagPart+16*s+int(hi)).([]push.Outgoing)
+				in := d.Comm.Recv(d.nbr[lo], tagPart+16*s+int(hi)).(push.OutgoingBatch)
 				d.landParticles(k, bufs[s], in, axis, 1, n, strides)
 			}
 		}

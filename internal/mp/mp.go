@@ -1,21 +1,57 @@
-// Package mp is the in-process message-passing substrate that stands in
-// for MPI (and, on Roadrunner, the DaCS Opteron↔Cell relay): ranks are
-// goroutines, links are buffered channels, and the primitives are the
-// ones VPIC's communication layer uses — point-to-point send/receive,
-// barriers, and reductions.
+// Package mp is the message-passing substrate that stands in for MPI
+// (and, on Roadrunner, the DaCS Opteron↔Cell relay). The primitives are
+// the ones VPIC's communication layer uses — point-to-point
+// send/receive, barriers, and reductions — and they run over a
+// pluggable Transport: the in-process World below (ranks are
+// goroutines, links are buffered channels) or a network fabric
+// (internal/transport's TCP mesh).
 //
-// Semantics: messages on one (src,dst) link are delivered in order; Recv
-// blocks until a message from the requested source arrives and checks
-// that its tag matches the protocol's expectation (a mismatch means the
-// SPMD program lost lockstep, which is a bug, not a runtime condition —
-// it panics). Payloads are passed by reference; the sender must not
-// mutate a payload after sending, exactly like a zero-copy transport.
+// Semantics: messages on one (src,dst) link are delivered in order;
+// Recv blocks until a message from the requested source arrives and
+// checks that its tag matches the protocol's expectation. Payloads are
+// passed by reference in-process; the sender must not mutate a payload
+// after sending, exactly like a zero-copy transport. Substrate failures
+// (tag mismatch, link overflow, dead peer) are typed CommErrors: the
+// Transport methods return them, and the blocking Comm wrappers panic
+// with the typed value so SPMD code stays uncluttered while a
+// supervising driver can recover and attribute them.
 package mp
 
 import (
 	"fmt"
 	"sync"
+
+	"govpic/internal/perf"
 )
+
+// Transport is the pluggable rank-to-rank message fabric under Comm.
+// Implementations must deliver messages on one (src,dst) link in order
+// and may fail with typed CommErrors.
+type Transport interface {
+	// Rank returns this endpoint's rank.
+	Rank() int
+	// Size returns the world size.
+	Size() int
+	// Send delivers data to dst with the given tag. It fails fast with a
+	// *LinkOverflowError when the per-link bound is exceeded.
+	Send(dst, tag int, data any) error
+	// Recv blocks until the next in-order message from src arrives and
+	// returns its payload; a tag mismatch returns *TagMismatchError with
+	// the message consumed.
+	Recv(src, tag int) (any, error)
+	// Barrier blocks until every rank of the world has entered it.
+	Barrier() error
+	// Allreduce gathers one value per rank into a rank-ordered slice,
+	// applies reduce once, and hands every rank the result. All ranks
+	// must pass an equivalent reduce function.
+	Allreduce(x any, reduce func([]any) any) (any, error)
+	// Stats returns the per-link communication counters of this
+	// endpoint, or nil if the transport does not keep them.
+	Stats() *perf.CommStats
+	// Close releases the endpoint's resources (network transports
+	// announce a graceful goodbye to peers).
+	Close() error
+}
 
 // message is one in-flight payload.
 type message struct {
@@ -23,10 +59,12 @@ type message struct {
 	data any
 }
 
-// World owns the links of an n-rank communicator group.
+// World is the in-process Transport provider: it owns the channel links
+// of an n-rank communicator group whose ranks are goroutines.
 type World struct {
 	n     int
 	links [][]chan message // links[src][dst]
+	stats []*perf.CommStats
 
 	barrierMu  sync.Mutex
 	barrierCnt int
@@ -41,22 +79,25 @@ type World struct {
 	reduceCv  *sync.Cond
 }
 
-// linkDepth bounds the number of undelivered messages per (src,dst)
+// LinkDepth bounds the number of undelivered messages per (src,dst)
 // pair. The exchange protocols post at most a handful per phase; the
-// generous depth means senders never block in practice.
-const linkDepth = 64
+// generous depth means senders never hit the bound in a healthy run. A
+// send beyond it fails fast with *LinkOverflowError instead of blocking
+// forever.
+const LinkDepth = 64
 
 // NewWorld creates an n-rank world.
 func NewWorld(n int) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("mp: world size %d", n))
 	}
-	w := &World{n: n, links: make([][]chan message, n), reduceBuf: make([]any, n)}
+	w := &World{n: n, links: make([][]chan message, n), reduceBuf: make([]any, n), stats: make([]*perf.CommStats, n)}
 	for s := range w.links {
 		w.links[s] = make([]chan message, n)
 		for d := range w.links[s] {
-			w.links[s][d] = make(chan message, linkDepth)
+			w.links[s][d] = make(chan message, LinkDepth)
 		}
+		w.stats[s] = perf.NewCommStats(s)
 	}
 	w.barrierCv = sync.NewCond(&w.barrierMu)
 	w.reduceCv = sync.NewCond(&w.reduceMu)
@@ -66,55 +107,44 @@ func NewWorld(n int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
 
-// Comm returns rank's endpoint.
+// Comm returns rank's endpoint over the in-process transport.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.n {
 		panic(fmt.Sprintf("mp: rank %d outside world of %d", rank, w.n))
 	}
-	return &Comm{w: w, rank: rank}
+	return NewComm(&localTransport{w: w, rank: rank})
 }
 
-// Comm is one rank's communication endpoint.
-type Comm struct {
+// localTransport is one rank's endpoint on a World's channel links.
+type localTransport struct {
 	w    *World
 	rank int
 }
 
-// Rank returns this endpoint's rank.
-func (c *Comm) Rank() int { return c.rank }
+func (t *localTransport) Rank() int { return t.rank }
+func (t *localTransport) Size() int { return t.w.n }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.w.n }
-
-// Send delivers data to dst with the given tag. It blocks only if the
-// link is full (linkDepth undelivered messages).
-func (c *Comm) Send(dst, tag int, data any) {
-	c.w.links[c.rank][dst] <- message{tag: tag, data: data}
-}
-
-// Recv blocks until the next message from src arrives and returns its
-// payload. A tag mismatch panics: the SPMD protocol is deterministic and
-// a mismatch can only be a programming error.
-func (c *Comm) Recv(src, tag int) any {
-	m := <-c.w.links[src][c.rank]
-	if m.tag != tag {
-		panic(fmt.Sprintf("mp: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+func (t *localTransport) Send(dst, tag int, data any) error {
+	select {
+	case t.w.links[t.rank][dst] <- message{tag: tag, data: data}:
+	default:
+		return &LinkOverflowError{Src: t.rank, Dst: dst, Depth: LinkDepth}
 	}
-	return m.data
+	t.w.stats[t.rank].Link(dst).AddSent(PayloadBytes(data))
+	return nil
 }
 
-// SendRecv posts a send to dst and then receives from src — the
-// shift-exchange primitive of the ghost and particle exchanges. It is
-// deadlock-free for any permutation pattern as long as fewer than
-// linkDepth messages are outstanding per link.
-func (c *Comm) SendRecv(dst, sendTag int, data any, src, recvTag int) any {
-	c.Send(dst, sendTag, data)
-	return c.Recv(src, recvTag)
+func (t *localTransport) Recv(src, tag int) (any, error) {
+	m := <-t.w.links[src][t.rank]
+	if m.tag != tag {
+		return nil, &TagMismatchError{Rank: t.rank, Src: src, Want: tag, Got: m.tag}
+	}
+	t.w.stats[t.rank].Link(src).AddRecv(PayloadBytes(m.data))
+	return m.data, nil
 }
 
-// Barrier blocks until every rank of the world has entered it.
-func (c *Comm) Barrier() {
-	w := c.w
+func (t *localTransport) Barrier() error {
+	w := t.w
 	w.barrierMu.Lock()
 	gen := w.barrierGen
 	w.barrierCnt++
@@ -128,15 +158,14 @@ func (c *Comm) Barrier() {
 		}
 	}
 	w.barrierMu.Unlock()
+	return nil
 }
 
-// allreduce gathers one value per rank, applies reduce to the full set
-// once, and hands every rank the result.
-func (c *Comm) allreduce(x any, reduce func([]any) any) any {
-	w := c.w
+func (t *localTransport) Allreduce(x any, reduce func([]any) any) (any, error) {
+	w := t.w
 	w.reduceMu.Lock()
 	gen := w.reduceGen
-	w.reduceBuf[c.rank] = x
+	w.reduceBuf[t.rank] = x
 	w.reduceCnt++
 	if w.reduceCnt == w.n {
 		w.reduceOut = reduce(w.reduceBuf)
@@ -150,10 +179,92 @@ func (c *Comm) allreduce(x any, reduce func([]any) any) any {
 	}
 	out := w.reduceOut
 	w.reduceMu.Unlock()
+	return out, nil
+}
+
+func (t *localTransport) Stats() *perf.CommStats { return t.w.stats[t.rank] }
+
+func (t *localTransport) Close() error { return nil }
+
+// Comm is one rank's communication endpoint: the SPMD-facing API over a
+// Transport. The blocking methods panic with the transport's typed
+// CommError on substrate failure; drivers that must survive a sick peer
+// recover it with AsCommError.
+type Comm struct {
+	t Transport
+}
+
+// NewComm wraps a transport endpoint in the SPMD API.
+func NewComm(t Transport) *Comm { return &Comm{t: t} }
+
+// Transport returns the underlying fabric endpoint.
+func (c *Comm) Transport() Transport { return c.t }
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.t.Rank() }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Stats returns the endpoint's per-link communication counters (nil if
+// the transport does not keep them).
+func (c *Comm) Stats() *perf.CommStats { return c.t.Stats() }
+
+// Send delivers data to dst with the given tag, panicking with the
+// typed CommError on substrate failure (link overflow, dead peer).
+func (c *Comm) Send(dst, tag int, data any) {
+	if err := c.t.Send(dst, tag, data); err != nil {
+		panic(err)
+	}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload, panicking with the typed CommError on substrate failure (tag
+// mismatch, dead peer).
+func (c *Comm) Recv(src, tag int) any {
+	data, err := c.t.Recv(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// SendE and RecvE are the error-returning forms for callers that handle
+// substrate failures inline instead of through a recovering supervisor.
+func (c *Comm) SendE(dst, tag int, data any) error { return c.t.Send(dst, tag, data) }
+
+// RecvE is the error-returning form of Recv.
+func (c *Comm) RecvE(src, tag int) (any, error) { return c.t.Recv(src, tag) }
+
+// SendRecv posts a send to dst and then receives from src — the
+// shift-exchange primitive of the ghost and particle exchanges. It is
+// deadlock-free for any permutation pattern as long as fewer than
+// LinkDepth messages are outstanding per link.
+func (c *Comm) SendRecv(dst, sendTag int, data any, src, recvTag int) any {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until every rank of the world has entered it.
+func (c *Comm) Barrier() {
+	if err := c.t.Barrier(); err != nil {
+		panic(err)
+	}
+}
+
+// allreduce gathers one value per rank, applies reduce to the full
+// rank-ordered set once, and hands every rank the result.
+func (c *Comm) allreduce(x any, reduce func([]any) any) any {
+	out, err := c.t.Allreduce(x, reduce)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// AllreduceSum returns the sum of x over all ranks, on every rank.
+// AllreduceSum returns the sum of x over all ranks, on every rank. The
+// sum is applied in rank order on every transport, so the result is
+// bit-identical however the world is laid out.
 func (c *Comm) AllreduceSum(x float64) float64 {
 	return c.allreduce(x, func(xs []any) any {
 		var s float64
@@ -188,8 +299,9 @@ func (c *Comm) AllreduceSumInt(x int64) int64 {
 	}).(int64)
 }
 
-// Run executes fn concurrently on every rank of a fresh world and
-// returns after all ranks finish. The first panic (if any) is re-raised.
+// Run executes fn concurrently on every rank of a fresh in-process
+// world and returns after all ranks finish. The first panic (if any) is
+// re-raised.
 func Run(nRanks int, fn func(c *Comm)) {
 	w := NewWorld(nRanks)
 	var wg sync.WaitGroup

@@ -157,3 +157,67 @@ func TestCommRankValidation(t *testing.T) {
 	}()
 	w.Comm(2)
 }
+
+func TestTagMismatchTypedError(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, nil)
+			return
+		}
+		_, err := c.RecvE(0, 6)
+		tm, ok := err.(*TagMismatchError)
+		if !ok {
+			t.Fatalf("got %T (%v), want *TagMismatchError", err, err)
+		}
+		if tm.Rank != 1 || tm.Src != 0 || tm.Want != 6 || tm.Got != 5 {
+			t.Errorf("wrong attribution: %+v", tm)
+		}
+		if _, ok := AsCommError(any(tm)); !ok {
+			t.Error("TagMismatchError is not a CommError")
+		}
+	})
+}
+
+func TestLinkOverflowTypedError(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() != 0 {
+			return // never drain: force the bound on link 0->1
+		}
+		for i := 0; i < LinkDepth; i++ {
+			if err := c.SendE(1, 0, i); err != nil {
+				t.Fatalf("send %d within depth failed: %v", i, err)
+			}
+		}
+		err := c.SendE(1, 0, LinkDepth)
+		lo, ok := err.(*LinkOverflowError)
+		if !ok {
+			t.Fatalf("got %T (%v), want *LinkOverflowError", err, err)
+		}
+		if lo.Src != 0 || lo.Dst != 1 || lo.Depth != LinkDepth {
+			t.Errorf("wrong attribution: %+v", lo)
+		}
+		if _, ok := AsCommError(any(lo)); !ok {
+			t.Error("LinkOverflowError is not a CommError")
+		}
+	})
+}
+
+func TestLinkOverflowPanicsTyped(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("overflowing Send did not panic")
+		}
+		if _, ok := AsCommError(p); !ok {
+			t.Fatalf("panic value %T is not a CommError", p)
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		for i := 0; i <= LinkDepth; i++ {
+			c.Send(1, 0, i)
+		}
+	})
+}

@@ -52,23 +52,47 @@ type BenchSection struct {
 	EffGBs     float64 `json:"eff_gb_s,omitempty"`
 }
 
+// CommClassRecord is one exchange class's traffic baseline in a bench
+// record: total sent bytes/messages over the run and the bytes-per-step
+// rate kernel and decomposition changes are compared against.
+type CommClassRecord struct {
+	Class        string  `json:"class"` // ghostE, ghostB, foldJ, ghostJ, foldScalar, ghostScalar, particles
+	Bytes        int64   `json:"bytes"`
+	Msgs         int64   `json:"msgs"`
+	BytesPerStep float64 `json:"bytes_per_step"`
+}
+
+// CommLinkRecord is one rank-pair link's transport counters in a bench
+// record; RTT quantiles are present only for network transports.
+type CommLinkRecord struct {
+	Link         string  `json:"link"` // "src->peer"
+	BytesSent    int64   `json:"bytes_sent"`
+	MsgsSent     int64   `json:"msgs_sent"`
+	BytesRecv    int64   `json:"bytes_recv"`
+	MsgsRecv     int64   `json:"msgs_recv"`
+	RTTP50Micros float64 `json:"rtt_p50_us,omitempty"`
+	RTTP99Micros float64 `json:"rtt_p99_us,omitempty"`
+}
+
 // BenchRecord is the machine-readable benchmark result the tools emit
 // (BENCH_<date>.json): the headline rates plus the per-section timing
 // and data-motion breakdown, so kernel changes leave a comparable
 // perf trajectory in the repo.
 type BenchRecord struct {
-	Date        string         `json:"date"` // YYYY-MM-DD
-	Deck        string         `json:"deck"`
-	Steps       int            `json:"steps"`
-	Particles   int            `json:"particles"`
-	Ranks       int            `json:"ranks"`
-	Workers     int            `json:"workers"`
-	WallSeconds float64        `json:"wall_seconds"`
-	MPartPerS   float64        `json:"mpart_per_s"`
-	GFlopPerS   float64        `json:"gflop_per_s"`
-	PushEffGBs  float64        `json:"push_eff_gb_s"` // effective push-section bandwidth
-	Sections    []BenchSection `json:"sections"`
-	Written     time.Time      `json:"written"`
+	Date        string            `json:"date"` // YYYY-MM-DD
+	Deck        string            `json:"deck"`
+	Steps       int               `json:"steps"`
+	Particles   int               `json:"particles"`
+	Ranks       int               `json:"ranks"`
+	Workers     int               `json:"workers"`
+	WallSeconds float64           `json:"wall_seconds"`
+	MPartPerS   float64           `json:"mpart_per_s"`
+	GFlopPerS   float64           `json:"gflop_per_s"`
+	PushEffGBs  float64           `json:"push_eff_gb_s"` // effective push-section bandwidth
+	Sections    []BenchSection    `json:"sections"`
+	CommTraffic []CommClassRecord `json:"comm_traffic,omitempty"` // sent bytes per exchange class
+	CommLinks   []CommLinkRecord  `json:"comm_links,omitempty"`   // per rank-pair link counters
+	Written     time.Time         `json:"written"`
 }
 
 // WriteBench emits the record as indented JSON.

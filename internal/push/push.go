@@ -123,6 +123,18 @@ type Outgoing struct {
 	DispX, DispY, DispZ float32
 }
 
+// OutgoingWireBytes is one Outgoing's wire size: the 32-byte particle
+// plus the three remaining-displacement words.
+const OutgoingWireBytes = 44
+
+// OutgoingBatch is the form in which a face's migrating particles
+// travel between ranks — a named type so transports can recognize and
+// size it.
+type OutgoingBatch []Outgoing
+
+// PayloadBytes sizes the batch for transport accounting.
+func (b OutgoingBatch) PayloadBytes() int { return OutgoingWireBytes * len(b) }
+
 // BlockState holds one pipeline block's private push state: the movers
 // recorded during the concurrent phase and the statistics counters of
 // everything the block pushed. Kernel totals are the sum over blocks

@@ -12,6 +12,7 @@ import (
 
 	"govpic/internal/deck"
 	"govpic/internal/diag"
+	"govpic/internal/domain"
 	"govpic/internal/output"
 	"govpic/internal/perf"
 )
@@ -54,6 +55,11 @@ type Job struct {
 	Submitted time.Time          `json:"submitted"`
 	Progress  Progress           `json:"progress"`
 	Perf      []perf.SectionStat `json:"perf,omitempty"`
+	// CommLinks and CommTraffic snapshot the decomposed run's per-link
+	// counters and per-exchange-class byte totals (empty for single-rank
+	// jobs).
+	CommLinks   []perf.CommLinkStat `json:"comm_links,omitempty"`
+	CommTraffic []domain.ClassStat  `json:"comm_traffic,omitempty"`
 
 	cancel    func() // non-nil while running
 	preempted bool   // cancellation is a shutdown preemption, not a user cancel

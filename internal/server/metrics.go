@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"govpic/internal/domain"
 	"govpic/internal/perf"
 )
 
@@ -20,6 +21,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var rate float64
 	perfSec := map[string]float64{}
 	perfBytes := map[string]int64{}
+	type linkKey struct{ src, peer int }
+	linkSentB := map[linkKey]int64{}
+	linkSentM := map[linkKey]int64{}
+	classBytes := map[string]int64{}
+	classMsgs := map[string]int64{}
 	for _, j := range s.jobs {
 		switch j.State {
 		case StateRunning:
@@ -32,6 +38,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, st := range j.Perf {
 			perfSec[st.Name] += st.Seconds
 			perfBytes[st.Name] += st.BytesMoved
+		}
+		for _, l := range j.CommLinks {
+			k := linkKey{l.Src, l.Peer}
+			linkSentB[k] += l.BytesSent
+			linkSentM[k] += l.MsgsSent
+		}
+		for _, c := range j.CommTraffic {
+			classBytes[c.Class] += c.Bytes
+			classMsgs[c.Class] += c.Msgs
 		}
 	}
 	lines := []string{
@@ -73,10 +88,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Per-link comm counters of decomposed jobs, rank-pair order.
+	linkKeys := make([]linkKey, 0, len(linkSentB))
+	for k := range linkSentB {
+		linkKeys = append(linkKeys, k)
+	}
+	sort.Slice(linkKeys, func(a, b int) bool {
+		if linkKeys[a].src != linkKeys[b].src {
+			return linkKeys[a].src < linkKeys[b].src
+		}
+		return linkKeys[a].peer < linkKeys[b].peer
+	})
+	for _, k := range linkKeys {
+		label := fmt.Sprintf("%d->%d", k.src, k.peer)
+		lines = append(lines,
+			fmt.Sprintf("vpicd_comm_link_bytes_sent_total{link=%q} %d", label, linkSentB[k]),
+			fmt.Sprintf("vpicd_comm_link_msgs_sent_total{link=%q} %d", label, linkSentM[k]))
+	}
+	// Per-exchange-class traffic, in the domain layer's class order.
+	classNames := make([]string, 0, len(classBytes))
+	for name := range classBytes {
+		classNames = append(classNames, name)
+	}
+	sort.Slice(classNames, func(a, b int) bool {
+		return classOrder(classNames[a]) < classOrder(classNames[b])
+	})
+	for _, name := range classNames {
+		lines = append(lines,
+			fmt.Sprintf("vpicd_comm_class_bytes_total{class=%q} %d", name, classBytes[name]),
+			fmt.Sprintf("vpicd_comm_class_msgs_total{class=%q} %d", name, classMsgs[name]))
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, l := range lines {
 		fmt.Fprintln(w, l)
 	}
+}
+
+// classOrder maps an exchange-class name to its domain.CommClass index
+// (unknown names sort last).
+func classOrder(name string) int {
+	for c := domain.CommClass(0); c < domain.NumCommClasses; c++ {
+		if c.String() == name {
+			return int(c)
+		}
+	}
+	return int(domain.NumCommClasses)
 }
 
 // sectionOrder maps a section name to its perf.Section index (unknown

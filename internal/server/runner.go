@@ -142,6 +142,8 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 			RateMPartS: rate / 1e6,
 		}
 		j.Perf = snap
+		j.CommLinks = sim.CommLinks()
+		j.CommTraffic = sim.CommTraffic()
 		j.pushed = pushed
 		s.mu.Unlock()
 		if step%ckptEvery == 0 && step < steps && ckptErr == nil {

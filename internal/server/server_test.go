@@ -348,3 +348,23 @@ func TestSweepPreemptResumeBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsCommCounters: a decomposed job's per-link and per-class
+// comm traffic shows up in /metrics with stable labels.
+func TestMetricsCommCounters(t *testing.T) {
+	srv, ts := startServer(t, t.TempDir(), Config{CheckpointEvery: 50, EnergyEvery: 10})
+	defer ts.Close()
+	defer srv.Close()
+
+	spec := deck.JSONConfig{Deck: "thermal", Steps: 10, NX: 16, PPC: 8, Ranks: 2, Workers: 1}
+	resp, sr := submit(t, ts, SubmitRequest{Deck: spec})
+	if resp.StatusCode != http.StatusAccepted || len(sr.Jobs) != 1 {
+		t.Fatalf("submit: HTTP %d, jobs %v", resp.StatusCode, sr.Jobs)
+	}
+	waitState(t, ts, sr.Jobs[0].ID, StateCompleted)
+
+	checkEndpoint(t, ts, "/metrics", `vpicd_comm_class_bytes_total{class="ghostE"}`)
+	checkEndpoint(t, ts, "/metrics", `vpicd_comm_class_bytes_total{class="particles"}`)
+	checkEndpoint(t, ts, "/metrics", `vpicd_comm_link_bytes_sent_total{link="0->1"}`)
+	checkEndpoint(t, ts, "/metrics", `vpicd_comm_link_msgs_sent_total{link="1->0"}`)
+}

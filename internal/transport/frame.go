@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every frame is [u32 length][u8 kind][body], length
+// counting the kind byte and body. Data frames carry the application
+// messages; the rest are link control (handshake, heartbeat, acks,
+// goodbye) and rendezvous bootstrap.
+const (
+	frData  byte = iota + 1 // u64 seq | i64 tag | payload
+	frHello                 // u32 rank | u64 lastRecvSeq — link handshake / resume point
+	frPing                  // i64 sender stamp (ns) — heartbeat
+	frPong                  // i64 echoed stamp
+	frAck                   // u64 lastRecvSeq — prunes the sender's replay buffer
+	frBye                   // graceful close; peer stops expecting heartbeats
+	frJoin                  // u32 rank | u16 len | addr — rendezvous announce
+	frTable                 // u32 n | n × (u16 len | addr) — rank→address table
+)
+
+// defaultMaxFrame bounds one frame's size (a full ghost plane of a
+// large tile is a few MB; 1 GiB leaves room for huge migration bursts
+// while rejecting corrupt lengths).
+const defaultMaxFrame = 1 << 30
+
+// writeFrame writes one complete frame.
+func writeFrame(w io.Writer, kind byte, body []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one complete frame, rejecting lengths beyond max.
+func readFrame(r io.Reader, max uint32) (kind byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > max {
+		return 0, nil, fmt.Errorf("transport: frame length %d outside (0, %d]", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Data-frame body helpers.
+
+func encodeDataBody(seq uint64, tag int, payload []byte) []byte {
+	body := make([]byte, 0, 16+len(payload))
+	body = binary.LittleEndian.AppendUint64(body, seq)
+	body = binary.LittleEndian.AppendUint64(body, uint64(int64(tag)))
+	return append(body, payload...)
+}
+
+func decodeDataBody(body []byte) (seq uint64, tag int, payload []byte, err error) {
+	if len(body) < 16 {
+		return 0, 0, nil, fmt.Errorf("transport: short data frame (%d bytes)", len(body))
+	}
+	seq = binary.LittleEndian.Uint64(body)
+	tag = int(int64(binary.LittleEndian.Uint64(body[8:])))
+	return seq, tag, body[16:], nil
+}
+
+// Hello-frame body helpers (also used by rendezvous join).
+
+func encodeHelloBody(rank int, lastRecv uint64) []byte {
+	body := binary.LittleEndian.AppendUint32(nil, uint32(rank))
+	return binary.LittleEndian.AppendUint64(body, lastRecv)
+}
+
+func decodeHelloBody(body []byte) (rank int, lastRecv uint64, err error) {
+	if len(body) != 12 {
+		return 0, 0, fmt.Errorf("transport: hello frame has %d bytes", len(body))
+	}
+	return int(binary.LittleEndian.Uint32(body)), binary.LittleEndian.Uint64(body[4:]), nil
+}
+
+func encodeU64Body(v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, v)
+}
+
+func decodeU64Body(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("transport: u64 frame has %d bytes", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+func encodeJoinBody(rank int, addr string) []byte {
+	body := binary.LittleEndian.AppendUint32(nil, uint32(rank))
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(addr)))
+	return append(body, addr...)
+}
+
+func decodeJoinBody(body []byte) (rank int, addr string, err error) {
+	if len(body) < 6 {
+		return 0, "", fmt.Errorf("transport: short join frame")
+	}
+	rank = int(binary.LittleEndian.Uint32(body))
+	n := int(binary.LittleEndian.Uint16(body[4:]))
+	if len(body) != 6+n {
+		return 0, "", fmt.Errorf("transport: join frame addr length mismatch")
+	}
+	return rank, string(body[6:]), nil
+}
+
+func encodeTableBody(addrs []string) []byte {
+	body := binary.LittleEndian.AppendUint32(nil, uint32(len(addrs)))
+	for _, a := range addrs {
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(a)))
+		body = append(body, a...)
+	}
+	return body
+}
+
+func decodeTableBody(body []byte) ([]string, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("transport: short table frame")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n > 1<<20 {
+		return nil, fmt.Errorf("transport: table frame declares %d ranks", n)
+	}
+	body = body[4:]
+	addrs := make([]string, n)
+	for i := range addrs {
+		if len(body) < 2 {
+			return nil, fmt.Errorf("transport: truncated table frame")
+		}
+		l := int(binary.LittleEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < l {
+			return nil, fmt.Errorf("transport: truncated table entry")
+		}
+		addrs[i] = string(body[:l])
+		body = body[l:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("transport: trailing bytes in table frame")
+	}
+	return addrs, nil
+}

@@ -1,0 +1,590 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"govpic/internal/mp"
+	"govpic/internal/perf"
+)
+
+// Options tunes the TCP transport's timing. The zero value means "use
+// defaults"; tests shrink the timeouts to keep failure-detection cases
+// fast.
+type Options struct {
+	// HeartbeatInterval is the writer's ping/ack cadence (default 250ms).
+	HeartbeatInterval time.Duration
+	// PeerTimeout is the silence window after which one connection is
+	// considered broken and reconnection starts (default 2s). It must
+	// comfortably exceed HeartbeatInterval.
+	PeerTimeout time.Duration
+	// DialTimeout bounds one dial plus handshake attempt (default 3s).
+	DialTimeout time.Duration
+	// ConnectAttempts bounds dial/accept tries per (re)connect before
+	// the peer is declared dead (default 8).
+	ConnectAttempts int
+	// ReconnectBackoff is the first retry delay, doubling up to 5s
+	// (default 100ms).
+	ReconnectBackoff time.Duration
+	// SendTimeout bounds how long Send may block on a congested or
+	// reconnecting link before failing (default 30s — longer than a
+	// full reconnect window so transient drops stay invisible).
+	SendTimeout time.Duration
+	// RendezvousTimeout bounds the whole bootstrap: join-table exchange
+	// plus mesh establishment (default 30s).
+	RendezvousTimeout time.Duration
+	// MaxFrame rejects frames larger than this (default 1 GiB).
+	MaxFrame uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 2 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.ConnectAttempts <= 0 {
+		o.ConnectAttempts = 8
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = 30 * time.Second
+	}
+	if o.RendezvousTimeout <= 0 {
+		o.RendezvousTimeout = 30 * time.Second
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = defaultMaxFrame
+	}
+	return o
+}
+
+// connectWindow is the dialer side's total (re)connect budget; the
+// acceptor side waits the same window for the peer to come back.
+func (o *Options) connectWindow() time.Duration {
+	w := time.Duration(o.ConnectAttempts) * o.DialTimeout
+	b := o.ReconnectBackoff
+	for i := 1; i < o.ConnectAttempts; i++ {
+		w += b
+		b *= 2
+		if b > 5*time.Second {
+			b = 5 * time.Second
+		}
+	}
+	return w
+}
+
+// Reserved negative tags for the transport's own collectives; the
+// application tag space is non-negative.
+const (
+	tagBarrier = -100
+	tagGather  = -101
+	tagBcast   = -102
+)
+
+// TCP is an mp.Transport over a full mesh of TCP connections, one per
+// peer pair (the higher rank dials the lower rank's listener).
+type TCP struct {
+	rank, size int
+	opts       Options
+	ln         net.Listener
+	links      []*link // links[rank] == nil
+	self       chan inMsg
+	stats      *perf.CommStats
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	noBye     atomic.Bool // suppress the goodbye (simulated crash in tests)
+	wg        sync.WaitGroup
+}
+
+// kill simulates abrupt process death: no goodbye is sent and every
+// live connection is torn down, so peers must discover the loss through
+// their failure detectors. Test hook.
+func (t *TCP) kill() {
+	t.noBye.Store(true)
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+	})
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.curConn != nil {
+			l.curConn.Close()
+		}
+		l.mu.Unlock()
+	}
+	t.wg.Wait()
+}
+
+var _ mp.Transport = (*TCP)(nil)
+
+// Connect bootstraps one rank of a size-rank TCP world. Rank 0 listens
+// at joinAddr; every other rank dials joinAddr, announces itself with
+// its own listener's advertised address, and receives the full
+// rank→address table once everyone has joined. The mesh is then built
+// pairwise (higher rank dials lower) and Connect returns only when
+// every link is live.
+func Connect(rank, size int, joinAddr, listenAddr string, opts Options) (*TCP, error) {
+	opts = opts.withDefaults()
+	if size < 1 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("transport: rank %d outside world of size %d", rank, size)
+	}
+	t := &TCP{
+		rank:   rank,
+		size:   size,
+		opts:   opts,
+		self:   make(chan inMsg, mp.LinkDepth),
+		stats:  perf.NewCommStats(rank),
+		closed: make(chan struct{}),
+	}
+	if size == 1 {
+		return t, nil
+	}
+	var err error
+	if rank == 0 {
+		t.ln, err = net.Listen("tcp", joinAddr)
+	} else {
+		if listenAddr == "" {
+			listenAddr = ":0"
+		}
+		t.ln, err = net.Listen("tcp", listenAddr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen: %w", rank, err)
+	}
+	t.links = make([]*link, size)
+	for p := 0; p < size; p++ {
+		if p != rank {
+			t.links[p] = newLink(t, p, rank > p)
+		}
+	}
+	if rank == 0 {
+		err = t.rendezvous0()
+	} else {
+		var table []string
+		table, err = t.join(joinAddr)
+		if err == nil && len(table) != size {
+			err = fmt.Errorf("transport: rendezvous table has %d entries, want %d", len(table), size)
+		}
+		if err == nil {
+			for p := 1; p < rank; p++ {
+				t.links[p].addr = table[p]
+			}
+			// Rank 0 is reachable at the join address we just used,
+			// whatever its listener advertised.
+			t.links[0].addr = joinAddr
+		}
+	}
+	if err != nil {
+		t.ln.Close()
+		return nil, err
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, l := range t.links {
+		if l != nil {
+			t.wg.Add(1)
+			go l.run()
+		}
+	}
+	deadline := time.After(opts.RendezvousTimeout)
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		select {
+		case <-l.established:
+		case <-l.dead:
+			err := l.deadErr
+			t.Close()
+			return nil, err
+		case <-deadline:
+			t.Close()
+			return nil, fmt.Errorf("transport: rank %d: link to rank %d not established within %v",
+				rank, l.peer, opts.RendezvousTimeout)
+		}
+	}
+	return t, nil
+}
+
+// rendezvous0 is rank 0's side of the bootstrap: collect one join per
+// peer, then broadcast the completed rank→address table.
+func (t *TCP) rendezvous0() error {
+	deadline := time.Now().Add(t.opts.RendezvousTimeout)
+	if tl, ok := t.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+		defer tl.SetDeadline(time.Time{})
+	}
+	addrs := make([]string, t.size)
+	addrs[0] = t.ln.Addr().String()
+	conns := make(map[int]net.Conn)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for seen := 1; seen < t.size; {
+		c, err := t.ln.Accept()
+		if err != nil {
+			missing := []int{}
+			for r := 1; r < t.size; r++ {
+				if conns[r] == nil {
+					missing = append(missing, r)
+				}
+			}
+			return fmt.Errorf("transport: rendezvous: ranks %v never joined: %w", missing, err)
+		}
+		c.SetDeadline(time.Now().Add(t.opts.DialTimeout))
+		kind, body, err := readFrame(c, t.opts.MaxFrame)
+		if err != nil || kind != frJoin {
+			c.Close()
+			continue
+		}
+		rank, addr, err := decodeJoinBody(body)
+		if err != nil || rank <= 0 || rank >= t.size {
+			c.Close()
+			continue
+		}
+		if old := conns[rank]; old != nil { // rejoin after a timeout: keep the fresh conn
+			old.Close()
+		} else {
+			seen++
+		}
+		conns[rank] = c
+		addrs[rank] = addr
+	}
+	table := encodeTableBody(addrs)
+	for rank, c := range conns {
+		c.SetDeadline(time.Now().Add(t.opts.DialTimeout))
+		if err := writeFrame(c, frTable, table); err != nil {
+			return fmt.Errorf("transport: rendezvous: sending table to rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// join is a nonzero rank's side of the bootstrap: dial rank 0, announce
+// our advertised address, and wait for the table.
+func (t *TCP) join(joinAddr string) ([]string, error) {
+	deadline := time.Now().Add(t.opts.RendezvousTimeout)
+	lastErr := errors.New("never attempted")
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", joinAddr, t.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			select {
+			case <-time.After(t.opts.ReconnectBackoff):
+				continue
+			case <-t.closed:
+				return nil, errClosed
+			}
+		}
+		c.SetDeadline(deadline)
+		err = writeFrame(c, frJoin, encodeJoinBody(t.rank, t.advertisedAddr(c)))
+		if err == nil {
+			var kind byte
+			var body []byte
+			kind, body, err = readFrame(c, t.opts.MaxFrame)
+			if err == nil && kind != frTable {
+				err = fmt.Errorf("expected table, got frame kind %d", kind)
+			}
+			if err == nil {
+				c.Close()
+				return decodeTableBody(body)
+			}
+		}
+		c.Close()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: rank %d: rendezvous with %s timed out: %w", t.rank, joinAddr, lastErr)
+}
+
+// advertisedAddr is this rank's listener address as peers should dial
+// it: when the listener is bound to the unspecified address, the host
+// is taken from the rendezvous connection's local side.
+func (t *TCP) advertisedAddr(c net.Conn) string {
+	la := t.ln.Addr().String()
+	host, port, err := net.SplitHostPort(la)
+	if err != nil {
+		return la
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		if lh, _, err := net.SplitHostPort(c.LocalAddr().String()); err == nil {
+			host = lh
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// acceptLoop routes incoming mesh connections: read the hello, answer
+// with ours (carrying our resume point), and hand the connection to the
+// peer's link supervisor.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			if t.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		t.wg.Add(1)
+		go t.handleAccepted(c)
+	}
+}
+
+func (t *TCP) handleAccepted(c net.Conn) {
+	defer t.wg.Done()
+	c.SetDeadline(time.Now().Add(t.opts.DialTimeout))
+	kind, body, err := readFrame(c, t.opts.MaxFrame)
+	if err != nil || kind != frHello {
+		c.Close()
+		return
+	}
+	rank, peerRecv, err := decodeHelloBody(body)
+	if err != nil || rank < 0 || rank >= t.size || rank == t.rank {
+		c.Close()
+		return
+	}
+	l := t.links[rank]
+	if l == nil || l.dialer { // only the lower rank accepts mesh conns
+		c.Close()
+		return
+	}
+	l.mu.Lock()
+	myRecv := l.recvSeq
+	l.mu.Unlock()
+	if err := writeFrame(c, frHello, encodeHelloBody(t.rank, myRecv)); err != nil {
+		c.Close()
+		return
+	}
+	c.SetDeadline(time.Time{})
+	for {
+		select {
+		case l.conns <- acceptedConn{conn: c, peerRecv: peerRecv}:
+			return
+		case <-t.closed:
+			c.Close()
+			return
+		default: // a stale conn is parked there: evict it for the fresh one
+			select {
+			case old := <-l.conns:
+				old.conn.Close()
+			default:
+			}
+		}
+	}
+}
+
+func (t *TCP) isClosed() bool {
+	select {
+	case <-t.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (t *TCP) Rank() int { return t.rank }
+
+// Size returns the world size.
+func (t *TCP) Size() int { return t.size }
+
+// Stats returns the per-link communication counters.
+func (t *TCP) Stats() *perf.CommStats { return t.stats }
+
+// Send encodes data and queues it on the link to dst. It blocks only
+// while the link is congested or reconnecting, up to SendTimeout, then
+// fails with *mp.LinkOverflowError; a dead peer fails immediately with
+// the link's *mp.PeerDeadError.
+func (t *TCP) Send(dst, tag int, data any) error {
+	if dst < 0 || dst >= t.size {
+		return fmt.Errorf("transport: send to rank %d outside world of size %d", dst, t.size)
+	}
+	payload, err := EncodePayload(nil, data)
+	if err != nil {
+		return err
+	}
+	if dst == t.rank {
+		v, err := DecodePayload(payload)
+		if err != nil {
+			return err
+		}
+		select {
+		case t.self <- inMsg{tag: tag, data: v}:
+			return nil
+		default:
+			return &mp.LinkOverflowError{Src: t.rank, Dst: dst, Depth: cap(t.self)}
+		}
+	}
+	l := t.links[dst]
+	if l.isDead() {
+		return l.deadErr
+	}
+	deadline := time.Now().Add(t.opts.SendTimeout)
+	l.mu.Lock()
+	for len(l.replay) >= replayCap {
+		l.mu.Unlock()
+		if time.Now().After(deadline) {
+			return &mp.LinkOverflowError{Src: t.rank, Dst: dst, Depth: replayCap}
+		}
+		select {
+		case <-l.dead:
+			return l.deadErr
+		case <-time.After(2 * time.Millisecond):
+		}
+		l.mu.Lock()
+	}
+	l.sendSeq++
+	f := dataFrame{seq: l.sendSeq, tag: tag, payload: payload}
+	l.replay = append(l.replay, f)
+	l.mu.Unlock()
+	select {
+	case l.out <- f:
+		l.stat.AddSent(len(payload))
+		return nil
+	case <-l.dead:
+		l.dropFromReplay(f.seq)
+		return l.deadErr
+	case <-time.After(time.Until(deadline)):
+		l.dropFromReplay(f.seq)
+		return &mp.LinkOverflowError{Src: t.rank, Dst: dst, Depth: cap(l.out)}
+	}
+}
+
+// Recv blocks for the next in-order message from src. Messages already
+// delivered before a peer died remain receivable; afterwards Recv fails
+// with the link's *mp.PeerDeadError. A tag mismatch consumes the
+// message and fails with *mp.TagMismatchError, mirroring the in-process
+// world.
+func (t *TCP) Recv(src, tag int) (any, error) {
+	if src < 0 || src >= t.size {
+		return nil, fmt.Errorf("transport: recv from rank %d outside world of size %d", src, t.size)
+	}
+	if src == t.rank {
+		m := <-t.self
+		return t.checkTag(src, tag, m)
+	}
+	l := t.links[src]
+	select {
+	case m := <-l.in:
+		return t.checkTag(src, tag, m)
+	default:
+	}
+	select {
+	case m := <-l.in:
+		return t.checkTag(src, tag, m)
+	case <-l.dead:
+		select {
+		case m := <-l.in:
+			return t.checkTag(src, tag, m)
+		default:
+		}
+		return nil, l.deadErr
+	}
+}
+
+func (t *TCP) checkTag(src, want int, m inMsg) (any, error) {
+	if m.tag != want {
+		return nil, &mp.TagMismatchError{Rank: t.rank, Src: src, Want: want, Got: m.tag}
+	}
+	return m.data, nil
+}
+
+// Barrier blocks until every rank has entered it: everyone reports to
+// rank 0, which releases the world.
+func (t *TCP) Barrier() error {
+	if t.size == 1 {
+		return nil
+	}
+	if t.rank == 0 {
+		for r := 1; r < t.size; r++ {
+			if _, err := t.Recv(r, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < t.size; r++ {
+			if err := t.Send(r, tagBarrier, int64(0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := t.Send(0, tagBarrier, int64(0)); err != nil {
+		return err
+	}
+	_, err := t.Recv(0, tagBarrier)
+	return err
+}
+
+// Allreduce gathers one value per rank on rank 0 in rank order, applies
+// reduce once, and broadcasts the result — the identical reduction
+// order the in-process world uses, so results are bit-identical across
+// transports.
+func (t *TCP) Allreduce(x any, reduce func([]any) any) (any, error) {
+	if t.size == 1 {
+		return reduce([]any{x}), nil
+	}
+	if t.rank == 0 {
+		xs := make([]any, t.size)
+		xs[0] = x
+		for r := 1; r < t.size; r++ {
+			v, err := t.Recv(r, tagGather)
+			if err != nil {
+				return nil, err
+			}
+			xs[r] = v
+		}
+		out := reduce(xs)
+		for r := 1; r < t.size; r++ {
+			if err := t.Send(r, tagBcast, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if err := t.Send(0, tagGather, x); err != nil {
+		return nil, err
+	}
+	return t.Recv(0, tagBcast)
+}
+
+// Close announces a goodbye on every live link, stops the listener and
+// waits briefly for the I/O goroutines to drain.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+	}
+	return nil
+}
