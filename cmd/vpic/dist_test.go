@@ -120,3 +120,45 @@ func TestDistributedPeerKillDetected(t *testing.T) {
 		t.Errorf("rank 0's error does not attribute the dead peer:\n%s", r0out.String())
 	}
 }
+
+// TestOverlapMatrixCRCIdentical is the end-to-end acceptance matrix of
+// the overlap engine: the same 4-rank deck (a 2×1×2 decomposition, so
+// the exchange crosses two axes) run {in-process, TCP multi-process} ×
+// {-overlap=true, -overlap=false} must write four byte-identical
+// state-CRC artifacts.
+func TestOverlapMatrixCRCIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	dir := t.TempDir()
+	deckArgs := []string{"-deck", "thermal", "-nx", "8", "-ppc", "8",
+		"-steps", "4", "-every", "4", "-ranks", "4", "-workers", "1"}
+	type variant struct {
+		name string
+		args []string
+	}
+	variants := []variant{
+		{"local-overlap", []string{"-overlap=true"}},
+		{"local-sync", []string{"-overlap=false"}},
+		{"tcp-overlap", []string{"-local-ranks", "4", "-overlap=true"}},
+		{"tcp-sync", []string{"-local-ranks", "4", "-overlap=false"}},
+	}
+	artifacts := make([][]byte, len(variants))
+	for i, v := range variants {
+		crc := filepath.Join(dir, v.name+".json")
+		args := append(append(append([]string{}, deckArgs...), v.args...), "-state-crc", crc)
+		out, err := vpicCmd(args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s run: %v\n%s", v.name, err, out)
+		}
+		if artifacts[i], err = os.ReadFile(crc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(variants); i++ {
+		if !bytes.Equal(artifacts[0], artifacts[i]) {
+			t.Errorf("state CRC differs between %s and %s:\n%s\nvs\n%s",
+				variants[0].name, variants[i].name, artifacts[0], artifacts[i])
+		}
+	}
+}

@@ -193,9 +193,11 @@ func inProcessReports(sim *core.Simulation) []dist.RankReport {
 	reports := make([]dist.RankReport, len(sim.Ranks))
 	for r, rk := range sim.Ranks {
 		reports[r] = dist.RankReport{
-			Rank:    r,
-			CRC:     fmt.Sprintf("%08x", rk.StateCRC()),
-			Classes: rk.D.ClassTraffic(),
+			Rank:               r,
+			CRC:                fmt.Sprintf("%08x", rk.StateCRC()),
+			Classes:            rk.D.ClassTraffic(),
+			CommWaitSeconds:    rk.Perf.CommWait().Seconds(),
+			CommOverlapSeconds: rk.Perf.CommOverlap().Seconds(),
 		}
 		if st := rk.D.Comm.Stats(); st != nil {
 			reports[r].Links = st.Snapshot()

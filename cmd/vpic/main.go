@@ -34,6 +34,7 @@ func main() {
 		every   = flag.Int("every", 10, "energy sample interval (steps)")
 		ranks   = flag.Int("ranks", 1, "domain-decomposed rank count")
 		workers = flag.Int("workers", 0, "pipeline workers per rank (0 = CPUs/rank, capped at 8)")
+		overlap = flag.Bool("overlap", true, "overlap communication with computation (bit-identical either way)")
 		ppc     = flag.Int("ppc", 64, "particles per cell")
 		nx      = flag.Int("nx", 64, "cells along x (non-LPI decks)")
 		a0      = flag.Float64("a0", 0.02, "laser strength (lpi deck)")
@@ -87,6 +88,17 @@ func main() {
 	}
 	if *workers != 0 {
 		d.Cfg.Workers = *workers
+	}
+	// An explicit -overlap wins; otherwise a config file's setting
+	// stands and the flag default applies only to flag-driven runs.
+	overlapSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "overlap" {
+			overlapSet = true
+		}
+	})
+	if overlapSet || *config == "" {
+		d.Cfg.NoOverlap = !*overlap
 	}
 	if *rank >= 0 {
 		if *join == "" {
@@ -260,19 +272,22 @@ func main() {
 			}
 		}
 		rec := output.BenchRecord{
-			Date:        time.Now().UTC().Format("2006-01-02"),
-			Deck:        d.Name,
-			Steps:       sim.StepCount(),
-			Particles:   sim.TotalParticles(),
-			Ranks:       d.Cfg.NRanks,
-			Workers:     sim.Cfg.Workers,
-			WallSeconds: wall.Seconds(),
-			MPartPerS:   perf.Rate(sim.PushedParticles(), wall) / 1e6,
-			GFlopPerS:   float64(sim.Flops()) / wall.Seconds() / 1e9,
-			PushEffGBs:  pb.EffectiveGBs(perf.Push),
-			Sections:    secs,
-			CommTraffic: classRecords(sim.CommTraffic(), sim.StepCount()),
-			CommLinks:   linkRecords(sim.CommLinks()),
+			Date:               time.Now().UTC().Format("2006-01-02"),
+			Deck:               d.Name,
+			Steps:              sim.StepCount(),
+			Particles:          sim.TotalParticles(),
+			Ranks:              d.Cfg.NRanks,
+			Workers:            sim.Cfg.Workers,
+			Overlap:            !d.Cfg.NoOverlap,
+			CommWaitSeconds:    pb.CommWait().Seconds(),
+			CommOverlapSeconds: pb.CommOverlap().Seconds(),
+			WallSeconds:        wall.Seconds(),
+			MPartPerS:          perf.Rate(sim.PushedParticles(), wall) / 1e6,
+			GFlopPerS:          float64(sim.Flops()) / wall.Seconds() / 1e9,
+			PushEffGBs:         pb.EffectiveGBs(perf.Push),
+			Sections:           secs,
+			CommTraffic:        classRecords(sim.CommTraffic(), sim.StepCount()),
+			CommLinks:          linkRecords(sim.CommLinks()),
 		}
 		err := output.WriteFileAtomic(path, func(w io.Writer) error {
 			return output.WriteBench(w, rec)

@@ -85,6 +85,14 @@ type Config struct {
 	// UseReferencePusher switches every species to the unoptimized
 	// baseline kernel (for the ablation benchmarks).
 	UseReferencePusher bool
+
+	// NoOverlap disables communication/computation overlap: every
+	// exchange runs on the synchronous blocking paths and the time step
+	// performs no concurrent communication. The zero value (overlap on)
+	// posts exchanges as nonblocking requests and hides them behind the
+	// interior push and field advance; results are bit-identical either
+	// way — the synchronous path is the determinism oracle.
+	NoOverlap bool
 }
 
 // Validate checks the configuration and returns a descriptive error.

@@ -9,6 +9,7 @@ import (
 	"govpic/internal/collision"
 	"govpic/internal/diag"
 	"govpic/internal/domain"
+	"govpic/internal/field"
 	"govpic/internal/grid"
 	"govpic/internal/interp"
 	"govpic/internal/loader"
@@ -47,6 +48,17 @@ type Rank struct {
 	pipeAcc []*accum.Array
 	blockSt []*push.BlockState
 	bufs    []*particle.Buffer
+
+	// Boundary-first push state (multi-rank pipelined path): shell
+	// marks the voxels adjacent to a remote face — the only voxels
+	// whose particles can migrate this step under the CFL bound — so
+	// the step can push them first, post the particle exchange, and
+	// push the interior while migrants fly. partNI holds each species'
+	// interior count after partitioning; partTail is partition scratch.
+	splitPush bool
+	shell     []bool
+	partNI    []int
+	partTail  []particle.Particle
 }
 
 // Simulation is the top-level driver: it owns all ranks and advances
@@ -123,6 +135,7 @@ func newRank(cfg *Config, dcfg domain.Config, comm *mp.Comm) (*Rank, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.Overlap = !cfg.NoOverlap
 	gl := loader.Global{NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ, X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0}
 	r := comm.Rank()
 	rk := &Rank{
@@ -198,6 +211,15 @@ func newRank(cfg *Config, dcfg domain.Config, comm *mp.Comm) (*Rank, error) {
 	for _, bs := range rk.blockSt {
 		bs.Movers = make([]particle.Mover, 0, 1024)
 	}
+	// Boundary-first push applies whenever a neighbor exists (every
+	// multi-rank decomposition gives each rank at least one remote
+	// face); the single-rank and reference paths keep the original
+	// unsplit sweep.
+	if cfg.NRanks > 1 && !cfg.UseReferencePusher {
+		rk.splitPush = true
+		rk.shell = shellMask(d)
+		rk.partNI = make([]int, len(rk.Species))
+	}
 	// Initial sort for locality.
 	for _, sp := range rk.Species {
 		if sp.SortInterval > 0 {
@@ -205,6 +227,53 @@ func newRank(cfg *Config, dcfg domain.Config, comm *mp.Comm) (*Rank, error) {
 		}
 	}
 	return rk, nil
+}
+
+// shellMask marks every interior voxel adjacent to a remote face. Under
+// the Courant bound (Validate rejects DT at or above the cell's limit) a
+// particle's per-axis displacement is below one cell per step, so only
+// particles in these voxels can cross a remote face and migrate.
+func shellMask(d *domain.Domain) []bool {
+	g := d.G
+	shell := make([]bool, g.NV())
+	var rem [field.NumFaces]bool
+	for f := field.Face(0); f < field.NumFaces; f++ {
+		rem[f] = d.Remote(f)
+	}
+	for iz := 1; iz <= g.NZ; iz++ {
+		for iy := 1; iy <= g.NY; iy++ {
+			for ix := 1; ix <= g.NX; ix++ {
+				if (rem[field.XLo] && ix == 1) || (rem[field.XHi] && ix == g.NX) ||
+					(rem[field.YLo] && iy == 1) || (rem[field.YHi] && iy == g.NY) ||
+					(rem[field.ZLo] && iz == 1) || (rem[field.ZHi] && iz == g.NZ) {
+					shell[g.Voxel(ix, iy, iz)] = true
+				}
+			}
+		}
+	}
+	return shell
+}
+
+// partitionBoundary stably partitions a species buffer so interior
+// particles come first and boundary-shell particles form a tail block,
+// returning the interior count. The partition is a fixed reordering of
+// the buffer (independent of worker count), so the split push remains
+// bit-identical for any number of workers.
+func (rk *Rank) partitionBoundary(buf *particle.Buffer) int {
+	p := buf.P
+	tail := rk.partTail[:0]
+	w := 0
+	for i := range p {
+		if rk.shell[p[i].Voxel] {
+			tail = append(tail, p[i])
+		} else {
+			p[w] = p[i]
+			w++
+		}
+	}
+	copy(p[w:], tail)
+	rk.partTail = tail
+	return w
 }
 
 // initDecomposed finishes a rank's initialization with the phases that
@@ -332,13 +401,15 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	// worker count (see internal/pipe).
 	rk.Perf.Start(perf.Push)
 	var pushBytes int64
-	if cfg.UseReferencePusher {
+	var px *domain.ParticleExchange
+	switch {
+	case cfg.UseReferencePusher:
 		pushBytes += int64(rk.Acc.WindowLen()) * accum.CellBytes
 		rk.Acc.Clear()
 		for i, sp := range rk.Species {
 			rk.Kernels[i].AdvancePRef(sp.Buf, f)
 		}
-	} else {
+	case !rk.splitPush:
 		// Windowed clears/reduce touch only occupied accumulator spans;
 		// charge their actual window sizes to the traffic model.
 		for _, a := range rk.pipeAcc {
@@ -361,6 +432,56 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 		// finishing their move deposit on top during the exchange.
 		union := accum.Reduce(rk.pool, rk.Acc, rk.pipeAcc)
 		pushBytes += int64(union) * accum.CellBytes * int64(len(rk.pipeAcc)+1)
+	default:
+		// Boundary-first push: partition each species so the shell
+		// particles form a tail block, push the tail, post the particle
+		// exchange (only shell particles can migrate under the CFL
+		// bound, so the outgoing lists are final), then push the
+		// interior while the migrants fly. The partition and phase
+		// order are fixed, so results are bit-identical for any worker
+		// count and for overlap on/off — only the exchange scheduling
+		// differs.
+		for _, a := range rk.pipeAcc {
+			pushBytes += int64(a.WindowLen()) * accum.CellBytes
+		}
+		for i, sp := range rk.Species {
+			rk.partNI[i] = rk.partitionBoundary(sp.Buf)
+		}
+		accum.ClearAll(rk.pool, rk.pipeAcc)
+		for i, sp := range rk.Species {
+			k := rk.Kernels[i]
+			buf := sp.Buf
+			ni := rk.partNI[i]
+			nb := buf.N() - ni
+			rk.pool.Run(pipe.NumBlocks, func(b int) {
+				bs := rk.blockSt[b]
+				bs.Reset()
+				lo, hi := pipe.BlockBounds(nb, pipe.NumBlocks, b)
+				k.AdvanceBlock(buf, ni+lo, ni+hi, rk.pipeAcc[b], bs)
+			})
+			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)
+		}
+		rk.Perf.Stop(perf.Push)
+		rk.Perf.Start(perf.Comm)
+		px = d.BeginParticleExchange(rk.Kernels, rk.bufs)
+		rk.Perf.Stop(perf.Comm)
+		rk.Perf.Start(perf.Push)
+		for i, sp := range rk.Species {
+			k := rk.Kernels[i]
+			buf := sp.Buf
+			ni := rk.partNI[i]
+			rk.pool.Run(pipe.NumBlocks, func(b int) {
+				bs := rk.blockSt[b]
+				bs.Reset()
+				lo, hi := pipe.BlockBounds(ni, pipe.NumBlocks, b)
+				k.AdvanceBlock(buf, lo, hi, rk.pipeAcc[b], bs)
+			})
+			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)
+		}
+		// Zeroes rk.Acc's stale window before summing, so immigrants
+		// finishing their move deposit on top during the exchange.
+		union := accum.Reduce(rk.pool, rk.Acc, rk.pipeAcc)
+		pushBytes += int64(union) * accum.CellBytes * int64(len(rk.pipeAcc)+1)
 	}
 	for _, k := range rk.Kernels {
 		pushBytes += k.TakeTrafficBytes()
@@ -368,9 +489,13 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	rk.stopPar(perf.Push)
 	rk.Perf.AddBytes(perf.Push, pushBytes)
 
-	// Migrate boundary-crossing particles.
+	// Complete the migration (or, on the unsplit paths, run it whole).
 	rk.Perf.Start(perf.Comm)
-	d.ExchangeParticles(rk.Kernels, rk.bufs)
+	if px != nil {
+		px.Complete()
+	} else {
+		d.ExchangeParticles(rk.Kernels, rk.bufs)
+	}
 	rk.Perf.Stop(perf.Comm)
 
 	// Reduce currents onto the mesh (plus the antenna drive).
@@ -383,14 +508,38 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	f.FoldGhostJ()
 	rk.stopPar(perf.Field)
 
-	rk.Perf.Start(perf.Comm)
-	d.ExchangeJ()
-	rk.Perf.Stop(perf.Comm)
-
-	// Field advance: B half, E full, B half.
-	rk.Perf.Start(perf.Field)
-	f.AdvanceBPar(rk.pool, cfg.DT, 0.5)
-	rk.stopPar(perf.Field)
+	// Field advance: B half, E full, B half. With overlap on, the
+	// current reduction rides behind the first B half-advance —
+	// ExchangeJ touches only J while AdvanceB reads B/E, so running
+	// them concurrently is bit-identical. The exchange goroutine's
+	// panic (a typed CommError from a sick peer) is captured and
+	// re-raised on the rank's own goroutine so supervising drivers can
+	// still recover and attribute it.
+	if cfg.NoOverlap {
+		rk.Perf.Start(perf.Comm)
+		d.ExchangeJ()
+		rk.Perf.Stop(perf.Comm)
+		rk.Perf.Start(perf.Field)
+		f.AdvanceBPar(rk.pool, cfg.DT, 0.5)
+		rk.stopPar(perf.Field)
+	} else {
+		var jerr any
+		jdone := make(chan struct{})
+		go func() {
+			defer close(jdone)
+			defer func() { jerr = recover() }()
+			d.ExchangeJ()
+		}()
+		rk.Perf.Start(perf.Field)
+		f.AdvanceBPar(rk.pool, cfg.DT, 0.5)
+		rk.stopPar(perf.Field)
+		rk.Perf.Start(perf.Comm)
+		<-jdone
+		if jerr != nil {
+			panic(jerr)
+		}
+		rk.Perf.Stop(perf.Comm)
+	}
 	rk.Perf.Start(perf.Comm)
 	d.ExchangeGhostB()
 	rk.Perf.Stop(perf.Comm)
@@ -421,6 +570,13 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 	rk.Perf.Start(perf.Field)
 	rk.IP.LoadPar(rk.pool, f)
 	rk.stopPar(perf.Field)
+
+	// Fold the step's request wait/overlap deltas into the breakdown.
+	if st := d.Comm.Stats(); st != nil {
+		w, o := st.TakeOverlap()
+		rk.Perf.AddCommWait(w)
+		rk.Perf.AddCommOverlap(o)
+	}
 }
 
 // stopPar stops a section's timer and folds the worker-pool busy/wall

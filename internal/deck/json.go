@@ -24,7 +24,11 @@ type JSONConfig struct {
 	Ranks int `json:"ranks,omitempty"`
 	// Workers is the intra-rank pipeline worker count (0 = one per
 	// available CPU per rank, capped at the pipeline block count).
-	Workers int     `json:"workers,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Overlap toggles communication/computation overlap (nonblocking
+	// exchanges hidden behind the interior push and field advance).
+	// Absent means on; results are bit-identical either way.
+	Overlap *bool   `json:"overlap,omitempty"`
 	PPC     int     `json:"ppc,omitempty"`
 	NX      int     `json:"nx,omitempty"`
 	N0      float64 `json:"n0,omitempty"` // density, ncr units
@@ -150,5 +154,8 @@ func (c JSONConfig) Build() (Deck, error) {
 		return Deck{}, fmt.Errorf("deck: negative workers %d", c.Workers)
 	}
 	d.Cfg.Workers = c.Workers
+	if c.Overlap != nil {
+		d.Cfg.NoOverlap = !*c.Overlap
+	}
 	return d, err
 }

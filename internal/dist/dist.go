@@ -45,6 +45,10 @@ type RankReport struct {
 	CRC     string              `json:"crc"` // %08x of core's StateCRC
 	Links   []perf.CommLinkStat `json:"links,omitempty"`
 	Classes []domain.ClassStat  `json:"classes,omitempty"`
+	// CommWaitSeconds/CommOverlapSeconds split this rank's exchange
+	// time into blocked waits and compute-hidden flight.
+	CommWaitSeconds    float64 `json:"comm_wait_seconds,omitempty"`
+	CommOverlapSeconds float64 `json:"comm_overlap_seconds,omitempty"`
 }
 
 // Result is what a completed distributed run leaves on every rank.
@@ -117,11 +121,14 @@ func Run(dk deck.Deck, steps, every int, c Config, logf func(format string, args
 	// End-of-run report exchange: gather to rank 0, broadcast the full
 	// set, so every process can verify CRC agreement locally.
 	comm.Barrier()
+	pb := rs.PerfBreakdown()
 	mine := RankReport{
-		Rank:    c.Rank,
-		CRC:     fmt.Sprintf("%08x", rs.StateCRC()),
-		Links:   rs.CommLinks(),
-		Classes: rs.CommTraffic(),
+		Rank:               c.Rank,
+		CRC:                fmt.Sprintf("%08x", rs.StateCRC()),
+		Links:              rs.CommLinks(),
+		Classes:            rs.CommTraffic(),
+		CommWaitSeconds:    pb.CommWait().Seconds(),
+		CommOverlapSeconds: pb.CommOverlap().Seconds(),
 	}
 	if c.Rank == 0 {
 		reports := make([]RankReport, c.Ranks)

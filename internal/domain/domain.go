@@ -49,6 +49,14 @@ type Domain struct {
 	G    *grid.Grid
 	F    *field.Fields
 
+	// Overlap selects the nonblocking exchange paths: sends and
+	// receives are posted as mp requests and completed in a fixed
+	// deterministic order, so fold/ghost applications happen in exactly
+	// the same sequence as the blocking paths and results stay
+	// bit-identical. Off, every exchange is the synchronous original —
+	// the determinism oracle.
+	Overlap bool
+
 	remote [field.NumFaces]bool
 	nbr    [field.NumFaces]int
 
@@ -133,8 +141,16 @@ func (d *Domain) ParticleActions() [6]push.Action {
 	return a
 }
 
-// arrays3 bundles a triple of per-voxel arrays for plane exchange.
+// exchangeGhost refreshes boundary/ghost planes of the given arrays on
+// every remote face. The axes stay sequential in both modes: forPlane
+// spans the full ghost-inclusive extent of the other two axes, so
+// corner values propagate through two successive axis hops and the hops
+// cannot be flattened.
 func (d *Domain) exchangeGhost(arrs [][]float32, tagBase int) {
+	if d.Overlap {
+		d.exchangeGhostAsync(arrs, tagBase)
+		return
+	}
 	g := d.G
 	n := [3]int{g.NX, g.NY, g.NZ}
 	for axis := 0; axis < 3; axis++ {
@@ -160,6 +176,41 @@ func (d *Domain) exchangeGhost(arrs [][]float32, tagBase int) {
 	}
 }
 
+// exchangeGhostAsync is the nonblocking form of exchangeGhost: per axis,
+// both faces' sends and receives are posted up front and the receives
+// completed in the same fixed order the blocking path uses (lo-tagged
+// first), so the plane applications are identical. Send completions are
+// deferred to the end — each payload is packed into a fresh buffer at
+// posting time, so later-axis packing never races an in-flight send.
+func (d *Domain) exchangeGhostAsync(arrs [][]float32, tagBase int) {
+	g := d.G
+	n := [3]int{g.NX, g.NY, g.NZ}
+	var sends []*mp.Request
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := field.Face(2*axis), field.Face(2*axis+1)
+		if d.remote[lo] {
+			sends = append(sends, d.isend(d.nbr[lo], tagBase+int(lo), arrs, axis, 1))
+		}
+		if d.remote[hi] {
+			sends = append(sends, d.isend(d.nbr[hi], tagBase+int(hi), arrs, axis, n[axis]))
+		}
+		var rHi, rLo *mp.Request
+		if d.remote[hi] {
+			rHi = d.Comm.IRecv(d.nbr[hi], tagBase+int(lo))
+		}
+		if d.remote[lo] {
+			rLo = d.Comm.IRecv(d.nbr[lo], tagBase+int(hi))
+		}
+		if rHi != nil {
+			d.applyPlane(rHi, arrs, axis, n[axis]+1, false)
+		}
+		if rLo != nil {
+			d.applyPlane(rLo, arrs, axis, 0, false)
+		}
+	}
+	waitAll(sends)
+}
+
 // ExchangeGhostE fills remote-face boundary planes of E (plane N+1 from
 // the high neighbor's plane 1; ghost plane 0 from the low neighbor's
 // plane N).
@@ -178,6 +229,20 @@ func (d *Domain) ExchangeGhostB() {
 func (d *Domain) foldUp(arrs [][]float32, tagBase int) {
 	g := d.G
 	n := [3]int{g.NX, g.NY, g.NZ}
+	if d.Overlap {
+		var sends []*mp.Request
+		for axis := 0; axis < 3; axis++ {
+			lo, hi := field.Face(2*axis), field.Face(2*axis+1)
+			if d.remote[hi] {
+				sends = append(sends, d.isend(d.nbr[hi], tagBase+int(hi), arrs, axis, n[axis]+1))
+			}
+			if d.remote[lo] {
+				d.applyPlane(d.Comm.IRecv(d.nbr[lo], tagBase+int(hi)), arrs, axis, 1, true)
+			}
+		}
+		waitAll(sends)
+		return
+	}
 	for axis := 0; axis < 3; axis++ {
 		lo, hi := field.Face(2*axis), field.Face(2*axis+1)
 		if d.remote[hi] {
@@ -225,6 +290,52 @@ func (d *Domain) send(dst, tag int, arrs [][]float32, axis, idx int) {
 	})
 	d.countSend(tag, 4*len(buf))
 	d.Comm.Send(dst, tag, buf)
+}
+
+// isend packs the given plane like send but posts the payload as a
+// nonblocking request; the returned handle must be waited before the
+// exchange completes.
+func (d *Domain) isend(dst, tag int, arrs [][]float32, axis, idx int) *mp.Request {
+	n := planeCount(d.G, axis)
+	buf := make([]float32, 0, n*len(arrs))
+	forPlane(d.G, axis, idx, func(v int) {
+		for _, a := range arrs {
+			buf = append(buf, a[v])
+		}
+	})
+	d.countSend(tag, 4*len(buf))
+	return d.Comm.ISend(dst, tag, buf)
+}
+
+// applyPlane completes a posted receive and unpacks its payload into the
+// given plane, overwriting (add=false) or accumulating (add=true).
+func (d *Domain) applyPlane(r *mp.Request, arrs [][]float32, axis, idx int, add bool) {
+	data, err := r.Wait()
+	if err != nil {
+		panic(err)
+	}
+	buf := data.([]float32)
+	i := 0
+	forPlane(d.G, axis, idx, func(v int) {
+		for _, a := range arrs {
+			if add {
+				a[v] += buf[i]
+			} else {
+				a[v] = buf[i]
+			}
+			i++
+		}
+	})
+}
+
+// waitAll completes a batch of posted sends, re-raising the transport's
+// typed error like the blocking Send path.
+func waitAll(reqs []*mp.Request) {
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil {
+			panic(err)
+		}
+	}
 }
 
 // recvInto overwrites the given plane from a packed payload.
@@ -291,18 +402,138 @@ func forPlane(g *grid.Grid, axis, idx int, fn func(v int)) {
 }
 
 // ExchangeParticles migrates every species' outgoing particles to the
-// neighbor ranks, sweeping the axes (x, then y, then z) and repeating
-// the sweep until no rank holds stragglers: a particle that crossed a y
-// face may, while finishing its move on the receiving rank, still cross
-// an x face — exactly the multi-pass settling VPIC's boundary handler
-// performs. Three sweeps always suffice (a trajectory crosses at most
-// one face per axis per step). kernels and bufs are parallel slices,
-// one per species.
+// neighbor ranks and settles stragglers (a migrant may, while finishing
+// its move on the receiving rank, still cross a face on another axis —
+// exactly the multi-pass settling VPIC's boundary handler performs).
+// kernels and bufs are parallel slices, one per species.
 func (d *Domain) ExchangeParticles(kernels []*push.Kernel, bufs []*particle.Buffer) {
+	d.BeginParticleExchange(kernels, bufs).Complete()
+}
+
+// partSend is one snapshotted outgoing batch awaiting transmission.
+type partSend struct {
+	dst, tag int
+	out      push.OutgoingBatch
+}
+
+// partRecv is one expected arrival: its link coordinates, the species
+// it lands into, and the entry plane on the crossing axis.
+type partRecv struct {
+	src, tag    int
+	species     int
+	axis, entry int
+	req         *mp.Request // overlap mode: the posted receive
+}
+
+// ParticleExchange is one particle migration in flight, split so the
+// caller can compute between posting and completion. Begin snapshots
+// every remote face's outgoing list in a fixed (axis, species, lo, hi)
+// order — the per-link wire order is therefore identical in both modes
+// — and in overlap mode posts all sends and receives immediately, so
+// migrants travel while the interior push runs. Complete finishes the
+// transfers, landing arrivals in the same fixed order, then settles
+// residual crossers.
+type ParticleExchange struct {
+	d       *Domain
+	kernels []*push.Kernel
+	bufs    []*particle.Buffer
+	sends   []partSend
+	recvs   []partRecv
+	sreqs   []*mp.Request
+}
+
+// BeginParticleExchange snapshots (and in overlap mode posts) every
+// species' outgoing migrants. The outgoing lists must be final for the
+// faces being exchanged: under the CFL bound a particle crosses at most
+// one face per axis per step, so only boundary-shell particles can
+// migrate and the snapshot may be taken as soon as the shell is pushed.
+func (d *Domain) BeginParticleExchange(kernels []*push.Kernel, bufs []*particle.Buffer) *ParticleExchange {
+	x := &ParticleExchange{d: d, kernels: kernels, bufs: bufs}
+	g := d.G
+	n := [3]int{g.NX, g.NY, g.NZ}
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := field.Face(2*axis), field.Face(2*axis+1)
+		for s, k := range kernels {
+			// Always exchange on remote faces, even empty lists: the
+			// protocol is deterministic.
+			if d.remote[lo] {
+				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[lo]...))
+				k.Out[lo] = k.Out[lo][:0]
+				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
+				x.sends = append(x.sends, partSend{dst: d.nbr[lo], tag: tagPart + 16*s + int(lo), out: out})
+			}
+			if d.remote[hi] {
+				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[hi]...))
+				k.Out[hi] = k.Out[hi][:0]
+				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
+				x.sends = append(x.sends, partSend{dst: d.nbr[hi], tag: tagPart + 16*s + int(hi), out: out})
+			}
+			// Arrivals, lo-tagged first per (axis, species): when both
+			// neighbors are the same rank the two messages share one
+			// in-order link, and the sender posted lo before hi.
+			if d.remote[hi] {
+				x.recvs = append(x.recvs, partRecv{src: d.nbr[hi], tag: tagPart + 16*s + int(lo), species: s, axis: axis, entry: n[axis]})
+			}
+			if d.remote[lo] {
+				x.recvs = append(x.recvs, partRecv{src: d.nbr[lo], tag: tagPart + 16*s + int(hi), species: s, axis: axis, entry: 1})
+			}
+		}
+	}
+	if d.Overlap {
+		for _, ps := range x.sends {
+			x.sreqs = append(x.sreqs, d.Comm.ISend(ps.dst, ps.tag, ps.out))
+		}
+		for i := range x.recvs {
+			x.recvs[i].req = d.Comm.IRecv(x.recvs[i].src, x.recvs[i].tag)
+		}
+	}
+	return x
+}
+
+// Complete finishes the posted migration: arrivals land in the fixed
+// Begin order, then residual crossers (a migrant re-crossing on a
+// later axis while landing) are settled with synchronous sweeps.
+func (x *ParticleExchange) Complete() {
+	d := x.d
+	g := d.G
+	n := [3]int{g.NX, g.NY, g.NZ}
+	strides := [3]int{}
+	strides[0] = 1
+	sx, sy, _ := g.Strides()
+	strides[1], strides[2] = sx, sx*sy
+
+	if d.Overlap {
+		for _, pr := range x.recvs {
+			data, err := pr.req.Wait()
+			if err != nil {
+				panic(err)
+			}
+			d.landParticles(x.kernels[pr.species], x.bufs[pr.species], data.(push.OutgoingBatch), pr.axis, pr.entry, n, strides)
+		}
+		waitAll(x.sreqs)
+	} else {
+		for _, ps := range x.sends {
+			d.Comm.Send(ps.dst, ps.tag, ps.out)
+		}
+		for _, pr := range x.recvs {
+			in := d.Comm.Recv(pr.src, pr.tag).(push.OutgoingBatch)
+			d.landParticles(x.kernels[pr.species], x.bufs[pr.species], in, pr.axis, pr.entry, n, strides)
+		}
+	}
+	x.settleResidual()
+}
+
+// settleResidual repeats synchronous axis sweeps until no rank holds an
+// outgoing migrant. The flattened main exchange has no in-sweep
+// cross-axis forwarding, so a particle crossing faces on k axes needs
+// up to k-1 extra sweeps (each sweep forwards across all three axes in
+// order); with at most one face crossing per axis per step, two
+// productive sweeps beyond the main exchange always suffice.
+func (x *ParticleExchange) settleResidual() {
+	d := x.d
 	for round := 0; ; round++ {
-		d.exchangeParticlesSweep(kernels, bufs)
 		var residual int64
-		for _, k := range kernels {
+		for _, k := range x.kernels {
 			for f := field.Face(0); f < field.NumFaces; f++ {
 				if d.remote[f] {
 					residual += int64(len(k.Out[f]))
@@ -313,8 +544,9 @@ func (d *Domain) ExchangeParticles(kernels []*push.Kernel, bufs []*particle.Buff
 			return
 		}
 		if round >= 3 {
-			panic("domain: particle exchange did not settle in 4 sweeps (dt beyond CFL?)")
+			panic("domain: particle exchange did not settle (dt beyond CFL?)")
 		}
+		d.exchangeParticlesSweep(x.kernels, x.bufs)
 	}
 }
 

@@ -1,0 +1,153 @@
+package domain
+
+import (
+	"testing"
+
+	"govpic/internal/accum"
+	"govpic/internal/interp"
+	"govpic/internal/mp"
+	"govpic/internal/particle"
+	"govpic/internal/push"
+)
+
+// TestExchangeGhostEOverlap repeats the ghost-exchange check through the
+// nonblocking engine path: values and application order must match the
+// blocking protocol exactly.
+func TestExchangeGhostEOverlap(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		d.Overlap = true
+		g := d.G
+		for iz := 0; iz <= g.NZ+1; iz++ {
+			for iy := 0; iy <= g.NY+1; iy++ {
+				for ix := 1; ix <= g.NX; ix++ {
+					d.F.Ey[g.Voxel(ix, iy, iz)] = float32(1000*c.Rank() + ix)
+				}
+			}
+		}
+		d.F.UpdateGhostE()
+		d.ExchangeGhostE()
+		other := 1 - c.Rank()
+		if got, want := d.F.Ey[g.Voxel(g.NX+1, 1, 1)], float32(1000*other+1); got != want {
+			t.Errorf("rank %d plane N+1 = %g, want %g", c.Rank(), got, want)
+		}
+		if got, want := d.F.Ey[g.Voxel(0, 1, 1)], float32(1000*other+4); got != want {
+			t.Errorf("rank %d plane 0 = %g, want %g", c.Rank(), got, want)
+		}
+	})
+}
+
+// TestExchangeJFoldsOverlap repeats the current-fold check with the
+// nonblocking fold-up and ghost-refresh branches active.
+func TestExchangeJFoldsOverlap(t *testing.T) {
+	cfg := periodicConfig(2, 8, 2, 2)
+	mp.Run(2, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		d.Overlap = true
+		g := d.G
+		d.F.Jx[g.Voxel(g.NX+1, 1, 1)] = 1
+		d.F.Jx[g.Voxel(1, 1, 1)] = 2
+		d.ExchangeJ()
+		if got := d.F.Jx[g.Voxel(1, 1, 1)]; got != 3 {
+			t.Errorf("rank %d folded J = %g, want 3", c.Rank(), got)
+		}
+		if got := d.F.Jx[g.Voxel(g.NX+1, 1, 1)]; got != 3 {
+			t.Errorf("rank %d refreshed high plane = %g, want 3", c.Rank(), got)
+		}
+	})
+}
+
+// TestCornerMigrationSettlesOverlap: a particle crossing two rank faces
+// in one step through the split Begin/Complete exchange still reaches
+// the diagonal neighbor via the settle sweeps.
+func TestCornerMigrationSettlesOverlap(t *testing.T) {
+	cfg := periodicConfig(4, 8, 8, 1)
+	mp.Run(4, func(c *mp.Comm) {
+		d, err := New(cfg, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		d.Overlap = true
+		g := d.G
+		ip := interp.NewTable(g)
+		ip.Load(d.F)
+		acc := accum.New(g)
+		k := push.NewKernel(g, ip, acc, -1, 1, 0.45)
+		k.Bound = d.ParticleActions()
+		buf := particle.NewBuffer(0)
+		if c.Rank() == 0 {
+			buf.Append(particle.Particle{
+				Dx: 0.99, Dy: 0.99,
+				Voxel: int32(g.Voxel(g.NX, g.NY, 1)),
+				Ux:    10, Uy: 10, W: 1,
+			})
+		}
+		acc.Clear()
+		k.AdvanceP(buf)
+		// Split form: post the exchange, "compute", then complete it.
+		px := d.BeginParticleExchange([]*push.Kernel{k}, []*particle.Buffer{buf})
+		px.Complete()
+		total := c.AllreduceSumInt(int64(buf.N()))
+		if total != 1 {
+			t.Errorf("rank %d: global particle count %d, want 1", c.Rank(), total)
+		}
+		if c.Rank() == 3 && buf.N() != 1 {
+			t.Errorf("corner particle did not reach rank 3")
+		}
+	})
+}
+
+// TestParticleMigrationOverlapMatchesSync runs the same single-particle
+// migration through both exchange paths and requires identical
+// placement.
+func TestParticleMigrationOverlapMatchesSync(t *testing.T) {
+	for _, overlap := range []bool{false, true} {
+		cfg := periodicConfig(2, 8, 2, 2)
+		mp.Run(2, func(c *mp.Comm) {
+			d, err := New(cfg, c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d.Overlap = overlap
+			g := d.G
+			ip := interp.NewTable(g)
+			ip.Load(d.F)
+			acc := accum.New(g)
+			k := push.NewKernel(g, ip, acc, -1, 1, 0.4)
+			k.Bound = d.ParticleActions()
+			buf := particle.NewBuffer(0)
+			if c.Rank() == 0 {
+				buf.Append(particle.Particle{Dx: 0.95, Voxel: int32(g.Voxel(g.NX, 1, 2)), Ux: 10, W: 1})
+			}
+			acc.Clear()
+			k.AdvanceP(buf)
+			d.ExchangeParticles([]*push.Kernel{k}, []*particle.Buffer{buf})
+			switch c.Rank() {
+			case 0:
+				if buf.N() != 0 {
+					t.Errorf("overlap=%v: rank 0 still holds %d particles", overlap, buf.N())
+				}
+			case 1:
+				if buf.N() != 1 {
+					t.Errorf("overlap=%v: rank 1 holds %d particles, want 1", overlap, buf.N())
+					return
+				}
+				ix, iy, iz := g.Unvoxel(int(buf.P[0].Voxel))
+				if ix != 1 || iy != 1 || iz != 2 {
+					t.Errorf("overlap=%v: migrated particle at (%d,%d,%d), want (1,1,2)", overlap, ix, iy, iz)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Nonblocking request engine: ISend/IRecv post operations that complete
+// asynchronously while the rank computes, the structural analogue of
+// MPI_Isend/Irecv that lets the exchange protocols keep all six faces'
+// traffic in flight at once instead of one blocking hop per axis.
+//
+// Design:
+//
+//   - ISend never blocks the caller. On a transport whose Send applies
+//     backpressure (the TCP replay buffer) every posted send joins a
+//     per-destination FIFO drained by a short-lived goroutine (the
+//     drainer exits the moment its queue runs dry) — this is what
+//     removes the classic send-send deadlock between two ranks
+//     exchanging large volumes head-to-head. On a transport whose Send
+//     cannot block (the in-process channel links, which enqueue or fail
+//     fast), the send executes inline on the caller's thread instead:
+//     same posted order, no goroutine churn.
+//
+//   - IRecv is lazy: posting only enqueues a matching record on a
+//     per-source FIFO; the transport Recv runs on the caller's thread at
+//     Wait time, in posted order. No goroutine races the protocols for
+//     messages — the transports already buffer arrivals internally (the
+//     World's channel links, the TCP links' reader queues), so frames keep
+//     flowing while the rank computes, and completion order is exactly the
+//     deterministic order the protocols Wait in.
+//
+//   - The blocking Send/Recv keep a direct fast path when no engine
+//     operation is pending on the same peer, preserving the synchronous
+//     path's semantics (including fail-fast link overflow) byte for byte.
+//
+// Determinism: the engine changes only *when* transport calls run, never
+// their per-link order — sends drain in posted order, receives execute
+// in posted order — so a protocol that posts in a fixed order completes
+// in a fixed order regardless of scheduling.
+package mp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Request is one posted nonblocking operation. A Request is owned by the
+// posting rank; Wait must not be called concurrently with itself.
+type Request struct {
+	c      *Comm
+	peer   int
+	tag    int
+	isRecv bool
+
+	data any
+	err  error
+
+	postT time.Time
+	doneT time.Time
+
+	done     chan struct{} // queued sends: closed by the drainer when the transport call returns
+	executed bool          // the transport call already ran (lazy recvs, inline sends)
+	waited   bool          // Wait already returned (result cached)
+}
+
+// sendQueue is the per-destination FIFO behind ISend.
+type sendQueue struct {
+	q       []*Request
+	last    *Request // most recently posted (flush target)
+	running bool     // a drainer goroutine is active
+}
+
+// ISend posts a nonblocking send of data to dst and returns its request
+// handle. The payload must not be mutated until Wait returns (zero-copy
+// transport semantics, same as Send). Posting never blocks; transport
+// errors surface from Wait.
+//
+// On a transport whose Send cannot block (the in-process channel
+// links), the send executes inline on the caller's thread — same posted
+// order, no drainer goroutine to spawn and schedule. The FIFO+drainer
+// machinery is reserved for transports with real send backpressure.
+func (c *Comm) ISend(dst, tag int, data any) *Request {
+	if c.inlineSend {
+		r := &Request{c: c, peer: dst, tag: tag, data: data, postT: time.Now(), executed: true}
+		r.err = c.t.Send(dst, tag, data)
+		r.doneT = time.Now()
+		return r
+	}
+	r := &Request{c: c, peer: dst, tag: tag, data: data, postT: time.Now(), done: make(chan struct{})}
+	c.mu.Lock()
+	q := c.sendQ[dst]
+	if q == nil {
+		q = &sendQueue{}
+		c.sendQ[dst] = q
+	}
+	q.q = append(q.q, r)
+	q.last = r
+	if !q.running {
+		q.running = true
+		go c.drainSends(dst, q)
+	}
+	c.mu.Unlock()
+	return r
+}
+
+// drainSends executes one destination's queued sends in posted order and
+// exits when the queue runs dry. The `running` flag is cleared only
+// after the final transport Send has returned, so the blocking Send
+// fast path can never overtake a queued message.
+func (c *Comm) drainSends(dst int, q *sendQueue) {
+	for {
+		c.mu.Lock()
+		if len(q.q) == 0 {
+			q.running = false
+			c.mu.Unlock()
+			return
+		}
+		r := q.q[0]
+		q.q = q.q[1:]
+		c.mu.Unlock()
+		r.err = c.t.Send(dst, r.tag, r.data)
+		r.doneT = time.Now()
+		close(r.done)
+	}
+}
+
+// IRecv posts a nonblocking receive from src with the given tag and
+// returns its request handle; Wait returns the payload. Receives on one
+// source must be waited in an order consistent with their posting (the
+// engine executes them in posted order).
+func (c *Comm) IRecv(src, tag int) *Request {
+	r := &Request{c: c, peer: src, tag: tag, isRecv: true, postT: time.Now()}
+	c.mu.Lock()
+	c.recvQ[src] = append(c.recvQ[src], r)
+	c.mu.Unlock()
+	return r
+}
+
+// Wait blocks until the request completes and returns its payload (nil
+// for sends) and error. It is idempotent: repeated calls return the
+// cached result.
+func (r *Request) Wait() (any, error) {
+	if r.waited {
+		return r.data, r.err
+	}
+	waitStart := time.Now()
+	if r.isRecv {
+		r.c.runRecvsThrough(r)
+	} else if !r.executed {
+		<-r.done
+	}
+	r.waited = true
+	r.c.account(r, waitStart)
+	return r.data, r.err
+}
+
+// runRecvsThrough executes queued receives from r's source, in posted
+// order, until r itself has run. Earlier receives completed on the way
+// keep their results for their own Wait calls.
+func (c *Comm) runRecvsThrough(r *Request) {
+	for !r.executed {
+		c.mu.Lock()
+		q := c.recvQ[r.peer]
+		if len(q) == 0 {
+			c.mu.Unlock()
+			panic(fmt.Sprintf("mp: rank %d waiting on an unqueued receive from %d (double Wait?)", c.t.Rank(), r.peer))
+		}
+		head := q[0]
+		c.recvQ[r.peer] = q[1:]
+		c.mu.Unlock()
+		head.data, head.err = c.t.Recv(head.peer, head.tag)
+		head.doneT = time.Now()
+		head.executed = true
+	}
+}
+
+// account records the request's blocked-wait and overlapped-flight time
+// into the transport's comm counters: wait is how long the caller
+// actually blocked in Wait, overlap is the part of the request's flight
+// that ran concurrently with the caller's compute.
+func (c *Comm) account(r *Request, waitStart time.Time) {
+	st := c.stats
+	if st == nil {
+		return
+	}
+	wait := r.doneT.Sub(waitStart)
+	if wait < 0 {
+		wait = 0
+	}
+	end := r.doneT
+	if waitStart.Before(end) {
+		end = waitStart
+	}
+	overlap := end.Sub(r.postT)
+	if overlap < 0 {
+		overlap = 0
+	}
+	st.AddWait(wait)
+	st.AddOverlap(overlap)
+}
+
+// sendIdle reports whether no engine send is pending toward dst, so a
+// blocking Send may use the direct transport path without overtaking
+// queued messages.
+func (c *Comm) sendIdle(dst int) bool {
+	c.mu.Lock()
+	q := c.sendQ[dst]
+	idle := q == nil || !q.running
+	c.mu.Unlock()
+	return idle
+}
+
+// recvIdle reports whether no engine receive is pending from src.
+func (c *Comm) recvIdle(src int) bool {
+	c.mu.Lock()
+	idle := len(c.recvQ[src]) == 0
+	c.mu.Unlock()
+	return idle
+}
+
+// flushSends waits for every queued send to reach the transport. The
+// collectives call it first: on network transports they share the data
+// links, so a collective must never overtake a queued point-to-point
+// message.
+func (c *Comm) flushSends() {
+	c.mu.Lock()
+	lasts := make([]*Request, 0, len(c.sendQ))
+	for _, q := range c.sendQ {
+		if q.running && q.last != nil {
+			lasts = append(lasts, q.last)
+		}
+	}
+	c.mu.Unlock()
+	for _, r := range lasts {
+		if _, err := r.Wait(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// assertNoPendingRecvs panics if a posted receive was never waited — a
+// protocol bug that would otherwise surface as a tag mismatch when a
+// collective reads the same link.
+func (c *Comm) assertNoPendingRecvs() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for src, q := range c.recvQ {
+		if len(q) > 0 {
+			panic(fmt.Sprintf("mp: rank %d entering a collective with %d unwaited receives from %d", c.t.Rank(), len(q), src))
+		}
+	}
+}

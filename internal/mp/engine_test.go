@@ -1,0 +1,207 @@
+package mp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestISendIRecvRoundTrip(t *testing.T) {
+	const n = 40
+	Run(2, func(c *Comm) {
+		other := 1 - c.Rank()
+		sends := make([]*Request, n)
+		for i := 0; i < n; i++ {
+			sends[i] = c.ISend(other, i, []int{c.Rank(), i})
+		}
+		recvs := make([]*Request, n)
+		for i := 0; i < n; i++ {
+			recvs[i] = c.IRecv(other, i)
+		}
+		for i, r := range recvs {
+			data, err := r.Wait()
+			if err != nil {
+				t.Errorf("rank %d recv %d: %v", c.Rank(), i, err)
+				return
+			}
+			got := data.([]int)
+			if got[0] != other || got[1] != i {
+				t.Errorf("rank %d recv %d: payload %v", c.Rank(), i, got)
+			}
+		}
+		for i, s := range sends {
+			if _, err := s.Wait(); err != nil {
+				t.Errorf("rank %d send %d: %v", c.Rank(), i, err)
+			}
+		}
+	})
+}
+
+// TestIRecvWaitOutOfOrder waits the last of three posted receives first:
+// the engine must execute the earlier ones in posted order on the way,
+// and their own Wait calls must return the cached results.
+func TestIRecvWaitOutOfOrder(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				c.Send(1, i, 10+i)
+			}
+			return
+		}
+		r0 := c.IRecv(0, 0)
+		r1 := c.IRecv(0, 1)
+		r2 := c.IRecv(0, 2)
+		if v, err := r2.Wait(); err != nil || v.(int) != 12 {
+			t.Errorf("last recv: %v, %v", v, err)
+		}
+		if v, err := r0.Wait(); err != nil || v.(int) != 10 {
+			t.Errorf("first recv: %v, %v", v, err)
+		}
+		if v, err := r1.Wait(); err != nil || v.(int) != 11 {
+			t.Errorf("middle recv: %v, %v", v, err)
+		}
+		// Wait is idempotent.
+		if v, _ := r1.Wait(); v.(int) != 11 {
+			t.Error("repeated Wait lost the cached payload")
+		}
+	})
+}
+
+// TestBlockingSendAfterISendKeepsOrder checks that a blocking Send
+// posted behind queued engine sends cannot overtake them: the receiver
+// must see tags in posted order.
+func TestBlockingSendAfterISendKeepsOrder(t *testing.T) {
+	const n = 10
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < n; i++ {
+				reqs = append(reqs, c.ISend(1, i, i))
+			}
+			c.Send(1, n, n) // must queue behind the engine sends
+			for _, r := range reqs {
+				if _, err := r.Wait(); err != nil {
+					t.Error(err)
+				}
+			}
+			return
+		}
+		for i := 0; i <= n; i++ {
+			if got := c.Recv(0, i).(int); got != i {
+				t.Errorf("message %d out of order: %d", i, got)
+			}
+		}
+	})
+}
+
+// TestCollectiveFlushesQueuedSends posts engine sends and immediately
+// enters a barrier: the flush must push every queued message to the
+// transport before the collective, so the peer can receive them all
+// after its own barrier.
+func TestCollectiveFlushesQueuedSends(t *testing.T) {
+	const n = 32
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.ISend(1, i, i)
+			}
+			c.Barrier()
+			return
+		}
+		c.Barrier()
+		for i := 0; i < n; i++ {
+			if got := c.Recv(0, i).(int); got != i {
+				t.Errorf("flushed message %d: got %d", i, got)
+			}
+		}
+	})
+}
+
+// TestWaitAccountsOverlap checks the wait/overlap bookkeeping: a receive
+// posted well before its Wait must bank the posted-to-wait span as
+// overlapped flight, and TakeOverlap must drain exactly once.
+func TestWaitAccountsOverlap(t *testing.T) {
+	const sleep = 20 * time.Millisecond
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, 1)
+			return
+		}
+		r := c.IRecv(0, 0)
+		time.Sleep(sleep) // "compute" while the message is in flight
+		if _, err := r.Wait(); err != nil {
+			t.Error(err)
+			return
+		}
+		st := c.Stats()
+		if st.OverlapTotal() < sleep/2 {
+			t.Errorf("overlap %v, want >= %v", st.OverlapTotal(), sleep/2)
+		}
+		w, o := st.TakeOverlap()
+		if o < sleep/2 || w < 0 {
+			t.Errorf("TakeOverlap = (%v, %v)", w, o)
+		}
+		if w2, o2 := st.TakeOverlap(); w2 != 0 || o2 != 0 {
+			t.Errorf("second TakeOverlap not drained: (%v, %v)", w2, o2)
+		}
+	})
+}
+
+// TestUnwaitedRecvBeforeCollectivePanics: entering a collective with a
+// posted-but-unwaited receive is a protocol bug the engine must catch.
+func TestUnwaitedRecvBeforeCollectivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("barrier with pending receive did not panic")
+		}
+	}()
+	// Single-rank world: the panic must come from the engine's assertion,
+	// before the transport barrier runs (a multi-rank world would deadlock
+	// the non-panicking rank inside the barrier).
+	Run(1, func(c *Comm) {
+		c.IRecv(0, 0)
+		c.Barrier()
+	})
+}
+
+// TestISendErrorSurfacesAtWait: transport failures on the drained send
+// must surface from Wait, not be lost in the drainer goroutine.
+func TestISendErrorSurfacesAtWait(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() != 0 {
+			return // never drain: force the link bound on 0->1
+		}
+		reqs := make([]*Request, LinkDepth+1)
+		for i := range reqs {
+			reqs[i] = c.ISend(1, 0, i)
+		}
+		var firstErr error
+		for _, r := range reqs {
+			if _, err := r.Wait(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		lo, ok := firstErr.(*LinkOverflowError)
+		if !ok {
+			t.Fatalf("got %T (%v), want *LinkOverflowError", firstErr, firstErr)
+		}
+		if lo.Src != 0 || lo.Dst != 1 {
+			t.Errorf("wrong attribution: %+v", lo)
+		}
+	})
+}
+
+func TestSendRecvRingViaRequests(t *testing.T) {
+	const n = 8
+	Run(n, func(c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		// Several rounds so request state from one round cannot leak into
+		// the next.
+		for round := 0; round < 20; round++ {
+			got := c.SendRecv(right, round, c.Rank(), left, round).(int)
+			if got != left {
+				t.Errorf("round %d: rank %d received %d, want %d", round, c.Rank(), got, left)
+			}
+		}
+	})
+}

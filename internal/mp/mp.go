@@ -184,6 +184,11 @@ func (t *localTransport) Allreduce(x any, reduce func([]any) any) (any, error) {
 
 func (t *localTransport) Stats() *perf.CommStats { return t.w.stats[t.rank] }
 
+// NonblockingSend: the channel Send above either enqueues immediately
+// or fails fast with LinkOverflowError — it never blocks — so the
+// request engine may execute ISends inline.
+func (t *localTransport) NonblockingSend() bool { return true }
+
 func (t *localTransport) Close() error { return nil }
 
 // Comm is one rank's communication endpoint: the SPMD-facing API over a
@@ -192,10 +197,39 @@ func (t *localTransport) Close() error { return nil }
 // recover it with AsCommError.
 type Comm struct {
 	t Transport
+
+	// Nonblocking request engine state (engine.go): per-destination
+	// send FIFOs with drainer goroutines, per-source lazy receive
+	// FIFOs, and the transport's comm counters cached for wait/overlap
+	// accounting.
+	mu         sync.Mutex
+	sendQ      map[int]*sendQueue
+	recvQ      map[int][]*Request
+	stats      *perf.CommStats
+	inlineSend bool // transport Send cannot block: ISend executes inline
+}
+
+// nonblockingSender is the optional transport capability behind
+// Comm.inlineSend: a transport whose Send never blocks the caller
+// (it either enqueues or fails fast) lets ISend skip the drainer
+// goroutine entirely.
+type nonblockingSender interface {
+	NonblockingSend() bool
 }
 
 // NewComm wraps a transport endpoint in the SPMD API.
-func NewComm(t Transport) *Comm { return &Comm{t: t} }
+func NewComm(t Transport) *Comm {
+	c := &Comm{
+		t:     t,
+		sendQ: make(map[int]*sendQueue),
+		recvQ: make(map[int][]*Request),
+		stats: t.Stats(),
+	}
+	if nb, ok := t.(nonblockingSender); ok && nb.NonblockingSend() {
+		c.inlineSend = true
+	}
+	return c
+}
 
 // Transport returns the underlying fabric endpoint.
 func (c *Comm) Transport() Transport { return c.t }
@@ -213,7 +247,7 @@ func (c *Comm) Stats() *perf.CommStats { return c.t.Stats() }
 // Send delivers data to dst with the given tag, panicking with the
 // typed CommError on substrate failure (link overflow, dead peer).
 func (c *Comm) Send(dst, tag int, data any) {
-	if err := c.t.Send(dst, tag, data); err != nil {
+	if err := c.SendE(dst, tag, data); err != nil {
 		panic(err)
 	}
 }
@@ -222,7 +256,7 @@ func (c *Comm) Send(dst, tag int, data any) {
 // payload, panicking with the typed CommError on substrate failure (tag
 // mismatch, dead peer).
 func (c *Comm) Recv(src, tag int) any {
-	data, err := c.t.Recv(src, tag)
+	data, err := c.RecvE(src, tag)
 	if err != nil {
 		panic(err)
 	}
@@ -231,22 +265,52 @@ func (c *Comm) Recv(src, tag int) any {
 
 // SendE and RecvE are the error-returning forms for callers that handle
 // substrate failures inline instead of through a recovering supervisor.
-func (c *Comm) SendE(dst, tag int, data any) error { return c.t.Send(dst, tag, data) }
-
-// RecvE is the error-returning form of Recv.
-func (c *Comm) RecvE(src, tag int) (any, error) { return c.t.Recv(src, tag) }
-
-// SendRecv posts a send to dst and then receives from src — the
-// shift-exchange primitive of the ghost and particle exchanges. It is
-// deadlock-free for any permutation pattern as long as fewer than
-// LinkDepth messages are outstanding per link.
-func (c *Comm) SendRecv(dst, sendTag int, data any, src, recvTag int) any {
-	c.Send(dst, sendTag, data)
-	return c.Recv(src, recvTag)
+// When engine operations are pending on the same peer they route through
+// the request queues so ordering is preserved; otherwise they take the
+// direct transport path with its synchronous semantics (including the
+// fail-fast link-overflow bound).
+func (c *Comm) SendE(dst, tag int, data any) error {
+	if c.sendIdle(dst) {
+		return c.t.Send(dst, tag, data)
+	}
+	_, err := c.ISend(dst, tag, data).Wait()
+	return err
 }
 
-// Barrier blocks until every rank of the world has entered it.
+// RecvE is the error-returning form of Recv.
+func (c *Comm) RecvE(src, tag int) (any, error) {
+	if c.recvIdle(src) {
+		return c.t.Recv(src, tag)
+	}
+	return c.IRecv(src, tag).Wait()
+}
+
+// SendRecv posts both sides nonblocking and completes the receive first
+// — the shift-exchange primitive of the ghost and particle exchanges.
+// Because the send drains off-thread, the pattern is deadlock-free even
+// when both directions exceed the transport's send backpressure bound
+// (two ranks head-to-head with large payloads would deadlock a blocking
+// send-then-recv on a network transport).
+func (c *Comm) SendRecv(dst, sendTag int, data any, src, recvTag int) any {
+	s := c.ISend(dst, sendTag, data)
+	r := c.IRecv(src, recvTag)
+	out, err := r.Wait()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := s.Wait(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Barrier blocks until every rank of the world has entered it. Queued
+// engine sends are flushed first: on network transports the collectives
+// share the data links, so they must never overtake point-to-point
+// traffic.
 func (c *Comm) Barrier() {
+	c.flushSends()
+	c.assertNoPendingRecvs()
 	if err := c.t.Barrier(); err != nil {
 		panic(err)
 	}
@@ -255,6 +319,8 @@ func (c *Comm) Barrier() {
 // allreduce gathers one value per rank, applies reduce to the full
 // rank-ordered set once, and hands every rank the result.
 func (c *Comm) allreduce(x any, reduce func([]any) any) any {
+	c.flushSends()
+	c.assertNoPendingRecvs()
 	out, err := c.t.Allreduce(x, reduce)
 	if err != nil {
 		panic(err)

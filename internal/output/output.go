@@ -79,20 +79,26 @@ type CommLinkRecord struct {
 // and data-motion breakdown, so kernel changes leave a comparable
 // perf trajectory in the repo.
 type BenchRecord struct {
-	Date        string            `json:"date"` // YYYY-MM-DD
-	Deck        string            `json:"deck"`
-	Steps       int               `json:"steps"`
-	Particles   int               `json:"particles"`
-	Ranks       int               `json:"ranks"`
-	Workers     int               `json:"workers"`
-	WallSeconds float64           `json:"wall_seconds"`
-	MPartPerS   float64           `json:"mpart_per_s"`
-	GFlopPerS   float64           `json:"gflop_per_s"`
-	PushEffGBs  float64           `json:"push_eff_gb_s"` // effective push-section bandwidth
-	Sections    []BenchSection    `json:"sections"`
-	CommTraffic []CommClassRecord `json:"comm_traffic,omitempty"` // sent bytes per exchange class
-	CommLinks   []CommLinkRecord  `json:"comm_links,omitempty"`   // per rank-pair link counters
-	Written     time.Time         `json:"written"`
+	Date        string  `json:"date"` // YYYY-MM-DD
+	Deck        string  `json:"deck"`
+	Steps       int     `json:"steps"`
+	Particles   int     `json:"particles"`
+	Ranks       int     `json:"ranks"`
+	Workers     int     `json:"workers"`
+	Overlap     bool    `json:"overlap"`
+	WallSeconds float64 `json:"wall_seconds"`
+	MPartPerS   float64 `json:"mpart_per_s"`
+	GFlopPerS   float64 `json:"gflop_per_s"`
+	PushEffGBs  float64 `json:"push_eff_gb_s"` // effective push-section bandwidth
+	// CommWaitSeconds is time ranks spent blocked on exchange requests;
+	// CommOverlapSeconds is exchange flight time hidden behind compute
+	// (not part of any section's wall time), summed over ranks.
+	CommWaitSeconds    float64           `json:"comm_wait_seconds"`
+	CommOverlapSeconds float64           `json:"comm_overlap_seconds"`
+	Sections           []BenchSection    `json:"sections"`
+	CommTraffic        []CommClassRecord `json:"comm_traffic,omitempty"` // sent bytes per exchange class
+	CommLinks          []CommLinkRecord  `json:"comm_links,omitempty"`   // per rank-pair link counters
+	Written            time.Time         `json:"written"`
 }
 
 // WriteBench emits the record as indented JSON.

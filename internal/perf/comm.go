@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -117,6 +118,15 @@ type CommStats struct {
 	rank  int
 	mu    sync.Mutex
 	links map[int]*LinkStat
+
+	// Nonblocking-engine accounting: total time callers blocked in
+	// Request.Wait and total request flight time that ran concurrently
+	// with compute. The taken* watermarks serve the single consumer
+	// (the step loop) that drains deltas into its Breakdown.
+	waitNs         atomic.Int64
+	overlapNs      atomic.Int64
+	takenWaitNs    int64
+	takenOverlapNs int64
 }
 
 // NewCommStats returns an empty counter set owned by the given rank.
@@ -126,6 +136,40 @@ func NewCommStats(rank int) *CommStats {
 
 // Rank returns the owning rank.
 func (s *CommStats) Rank() int { return s.rank }
+
+// AddWait records time a caller spent blocked in Request.Wait.
+func (s *CommStats) AddWait(d time.Duration) {
+	if d > 0 {
+		s.waitNs.Add(int64(d))
+	}
+}
+
+// AddOverlap records request flight time that ran concurrently with the
+// caller's compute (post-to-completion time not spent blocked in Wait).
+func (s *CommStats) AddOverlap(d time.Duration) {
+	if d > 0 {
+		s.overlapNs.Add(int64(d))
+	}
+}
+
+// WaitTotal returns the cumulative blocked-wait time.
+func (s *CommStats) WaitTotal() time.Duration { return time.Duration(s.waitNs.Load()) }
+
+// OverlapTotal returns the cumulative overlapped flight time.
+func (s *CommStats) OverlapTotal() time.Duration { return time.Duration(s.overlapNs.Load()) }
+
+// TakeOverlap returns the wait and overlap accumulated since the
+// previous call — a single-consumer drain used by the step loop to fold
+// per-step deltas into its Breakdown.
+func (s *CommStats) TakeOverlap() (wait, overlap time.Duration) {
+	w := s.waitNs.Load()
+	o := s.overlapNs.Load()
+	wait = time.Duration(w - s.takenWaitNs)
+	overlap = time.Duration(o - s.takenOverlapNs)
+	s.takenWaitNs = w
+	s.takenOverlapNs = o
+	return wait, overlap
+}
 
 // Link returns the counter set of the link toward peer, creating it on
 // first use.

@@ -57,6 +57,16 @@ type Breakdown struct {
 	// window sizes). Divided by the section's wall time this yields the
 	// effective bandwidth the bandwidth-bound sections sustain.
 	bytes [NumSections]int64
+
+	// Nonblocking-exchange accounting, kept OUTSIDE the section array:
+	// commWait is the blocked part of Comm (already inside accum[Comm],
+	// recorded here to show how much of it was unhidable), and
+	// commOverlap is exchange flight time hidden behind compute — time
+	// that belongs to whatever compute section was running, so counting
+	// it in accum would double-book wall time and push section shares
+	// past 1.0.
+	commWait    time.Duration
+	commOverlap time.Duration
 }
 
 // Start begins timing a section.
@@ -102,6 +112,22 @@ func (b *Breakdown) Fraction(s Section) float64 {
 	}
 	return float64(b.accum[s]) / float64(tot)
 }
+
+// AddCommWait records time spent blocked waiting on exchange requests.
+func (b *Breakdown) AddCommWait(d time.Duration) { b.commWait += d }
+
+// AddCommOverlap records exchange flight time that ran hidden behind
+// compute. It deliberately does not feed any section accumulator: the
+// wall time it spans is already booked to the overlapping compute
+// section, so Total() and the section shares stay an exact partition of
+// measured wall time.
+func (b *Breakdown) AddCommOverlap(d time.Duration) { b.commOverlap += d }
+
+// CommWait returns the accumulated blocked exchange-wait time.
+func (b *Breakdown) CommWait() time.Duration { return b.commWait }
+
+// CommOverlap returns the accumulated compute-hidden exchange time.
+func (b *Breakdown) CommOverlap() time.Duration { return b.commOverlap }
 
 // AddParallel records one or more pipeline-parallel regions inside a
 // section: busy is the summed worker-busy time, wall the regions'
@@ -190,6 +216,8 @@ func (b *Breakdown) Merge(o *Breakdown) {
 		b.pwall[s] += o.pwall[s]
 		b.bytes[s] += o.bytes[s]
 	}
+	b.commWait += o.commWait
+	b.commOverlap += o.commOverlap
 }
 
 // Report formats the breakdown as aligned text rows. The workers column
@@ -211,6 +239,10 @@ func (b *Breakdown) Report() string {
 		fmt.Fprintf(&sb, "%-8s %12v %7.1f%% %8s %9s\n", s, b.accum[s].Round(time.Microsecond), 100*b.Fraction(s), w, gbs)
 	}
 	fmt.Fprintf(&sb, "%-8s %12v\n", "total", tot.Round(time.Microsecond))
+	if b.commWait > 0 || b.commOverlap > 0 {
+		fmt.Fprintf(&sb, "%-8s %12v   (overlapped with compute: %v)\n",
+			"comm i/o", b.commWait.Round(time.Microsecond), b.commOverlap.Round(time.Microsecond))
+	}
 	return sb.String()
 }
 

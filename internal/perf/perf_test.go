@@ -124,3 +124,58 @@ func TestSnapshot(t *testing.T) {
 		t.Fatal("snapshot aliased the breakdown")
 	}
 }
+
+// TestSharesWithOverlapNotDoubleCounted is the accounting guarantee of
+// the overlap engine: comm wait/overlap time is tracked outside the
+// section accumulators, so recording a large overlapped-flight figure
+// (which by construction ran concurrently with a timed compute section)
+// must not push the section shares past 1.0.
+func TestSharesWithOverlapNotDoubleCounted(t *testing.T) {
+	var b Breakdown
+	b.Time(Push, func() { time.Sleep(4 * time.Millisecond) })
+	b.Time(Comm, func() { time.Sleep(time.Millisecond) })
+	// Overlap larger than the comm section itself: the flight ran under
+	// the push section's wall time.
+	b.AddCommWait(500 * time.Microsecond)
+	b.AddCommOverlap(3 * time.Millisecond)
+	var sum float64
+	for s := Section(0); s < NumSections; s++ {
+		sum += b.Fraction(s)
+	}
+	if sum > 1.001 {
+		t.Fatalf("shares sum to %g with overlap recorded, want <= 1", sum)
+	}
+	if sum < 0.999 {
+		t.Fatalf("shares sum to %g, want ~1", sum)
+	}
+	if b.CommWait() != 500*time.Microsecond || b.CommOverlap() != 3*time.Millisecond {
+		t.Fatalf("wait/overlap getters: %v, %v", b.CommWait(), b.CommOverlap())
+	}
+}
+
+// TestCommWaitOverlapMergeResetReport covers the lifecycle of the new
+// fields alongside the section accumulators.
+func TestCommWaitOverlapMergeResetReport(t *testing.T) {
+	var a, b Breakdown
+	a.AddCommWait(time.Millisecond)
+	a.AddCommOverlap(2 * time.Millisecond)
+	b.AddCommWait(3 * time.Millisecond)
+	b.AddCommOverlap(4 * time.Millisecond)
+	a.Merge(&b)
+	if a.CommWait() != 4*time.Millisecond || a.CommOverlap() != 6*time.Millisecond {
+		t.Fatalf("merge: wait %v overlap %v", a.CommWait(), a.CommOverlap())
+	}
+	a.Time(Comm, func() {})
+	r := a.Report()
+	if !strings.Contains(r, "comm i/o") || !strings.Contains(r, "overlapped with compute") {
+		t.Fatalf("report missing overlap line:\n%s", r)
+	}
+	a.Reset()
+	if a.CommWait() != 0 || a.CommOverlap() != 0 {
+		t.Fatal("reset left comm wait/overlap time")
+	}
+	var c Breakdown
+	if strings.Contains(c.Report(), "comm i/o") {
+		t.Fatal("empty breakdown reports an overlap line")
+	}
+}

@@ -60,6 +60,11 @@ type Job struct {
 	// jobs).
 	CommLinks   []perf.CommLinkStat `json:"comm_links,omitempty"`
 	CommTraffic []domain.ClassStat  `json:"comm_traffic,omitempty"`
+	// CommWaitSeconds/CommOverlapSeconds split the job's exchange time
+	// into blocked request waits and compute-hidden flight (summed over
+	// ranks; zero for single-rank jobs).
+	CommWaitSeconds    float64 `json:"comm_wait_seconds,omitempty"`
+	CommOverlapSeconds float64 `json:"comm_overlap_seconds,omitempty"`
 
 	cancel    func() // non-nil while running
 	preempted bool   // cancellation is a shutdown preemption, not a user cancel

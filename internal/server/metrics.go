@@ -26,6 +26,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	linkSentM := map[linkKey]int64{}
 	classBytes := map[string]int64{}
 	classMsgs := map[string]int64{}
+	var commWait, commOverlap float64
 	for _, j := range s.jobs {
 		switch j.State {
 		case StateRunning:
@@ -48,6 +49,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			classBytes[c.Class] += c.Bytes
 			classMsgs[c.Class] += c.Msgs
 		}
+		commWait += j.CommWaitSeconds
+		commOverlap += j.CommOverlapSeconds
 	}
 	lines := []string{
 		"vpicd_up 1",
@@ -61,6 +64,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("vpicd_jobs_cancelled_total %d", s.cancelled),
 		fmt.Sprintf("vpicd_particles_advanced_total %d", pushed),
 		fmt.Sprintf("vpicd_particle_advance_rate_mpart_s %.6g", rate),
+		fmt.Sprintf("vpicd_comm_wait_seconds_total %.6f", commWait),
+		fmt.Sprintf("vpicd_comm_overlap_seconds_total %.6f", commOverlap),
 	}
 	s.mu.Unlock()
 

@@ -144,6 +144,8 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		j.Perf = snap
 		j.CommLinks = sim.CommLinks()
 		j.CommTraffic = sim.CommTraffic()
+		j.CommWaitSeconds = pb.CommWait().Seconds()
+		j.CommOverlapSeconds = pb.CommOverlap().Seconds()
 		j.pushed = pushed
 		s.mu.Unlock()
 		if step%ckptEvery == 0 && step < steps && ckptErr == nil {
