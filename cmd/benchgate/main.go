@@ -1,0 +1,135 @@
+// Command benchgate compares a freshly generated benchmark record
+// against the committed baseline BENCH_<date>.json and fails (exit 1)
+// on a regression beyond the tolerance: throughput (Mpart/s) dropping,
+// or the modeled push-section bytes per particle-step growing. It is
+// the CI tripwire for the particle inner loop — the two numbers it
+// guards are the ones the whole perf effort optimizes.
+//
+// Usage:
+//
+//	benchgate -baseline . -candidate bench-record.json [-tol 0.10]
+//
+// -baseline may be a BENCH_*.json file or a directory, in which case
+// the lexicographically newest BENCH_*.json inside it is used (the
+// date-stamped names sort chronologically).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"govpic/internal/output"
+)
+
+func main() {
+	baseline := flag.String("baseline", ".", "baseline BENCH_*.json file, or a directory holding them")
+	candidate := flag.String("candidate", "bench-record.json", "candidate benchmark record to check")
+	tol := flag.Float64("tol", 0.10, "allowed fractional regression before failing")
+	flag.Parse()
+
+	base, basePath, err := loadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := loadRecord(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("baseline  %s (%s: deck=%s ranks=%d steps=%d)\n",
+		basePath, base.Date, base.Deck, base.Ranks, base.Steps)
+	fmt.Printf("candidate %s (%s: deck=%s ranks=%d steps=%d)\n",
+		*candidate, cand.Date, cand.Deck, cand.Ranks, cand.Steps)
+
+	failed := false
+
+	// Throughput: lower is worse.
+	floor := base.MPartPerS * (1 - *tol)
+	fmt.Printf("Mpart/s            baseline %8.3f  candidate %8.3f  floor %8.3f",
+		base.MPartPerS, cand.MPartPerS, floor)
+	if cand.MPartPerS < floor {
+		fmt.Printf("  REGRESSION\n")
+		failed = true
+	} else {
+		fmt.Printf("  ok\n")
+	}
+
+	// Push memory traffic per particle-step: higher is worse. Derived
+	// from the push section's modeled bytes over total particle pushes,
+	// so it is deterministic for a fixed deck — any drift is a real
+	// change in the kernel's traffic, not scheduling noise.
+	bBase, okB := bytesPerPush(base)
+	bCand, okC := bytesPerPush(cand)
+	switch {
+	case !okB:
+		fmt.Printf("B/particle-step    baseline record has no push section — skipping\n")
+	case !okC:
+		fmt.Printf("B/particle-step    candidate record has no push section  REGRESSION\n")
+		failed = true
+	default:
+		ceil := bBase * (1 + *tol)
+		fmt.Printf("B/particle-step    baseline %8.2f  candidate %8.2f  ceiling %8.2f",
+			bBase, bCand, ceil)
+		if bCand > ceil {
+			fmt.Printf("  REGRESSION\n")
+			failed = true
+		} else {
+			fmt.Printf("  ok\n")
+		}
+	}
+
+	if failed {
+		fmt.Println("benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+// bytesPerPush models the push section's memory traffic per
+// particle-step from the record's section table.
+func bytesPerPush(r output.BenchRecord) (float64, bool) {
+	for _, s := range r.Sections {
+		if s.Name == "push" && s.BytesMoved > 0 && r.Particles > 0 && r.Steps > 0 {
+			return float64(s.BytesMoved) / (float64(r.Particles) * float64(r.Steps)), true
+		}
+	}
+	return 0, false
+}
+
+func loadBaseline(path string) (output.BenchRecord, string, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return output.BenchRecord{}, "", err
+	}
+	if st.IsDir() {
+		matches, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil || len(matches) == 0 {
+			return output.BenchRecord{}, "", fmt.Errorf("no BENCH_*.json baseline found in %s", path)
+		}
+		sort.Strings(matches)
+		path = matches[len(matches)-1]
+	}
+	rec, err := loadRecord(path)
+	return rec, path, err
+}
+
+func loadRecord(path string) (output.BenchRecord, error) {
+	var rec output.BenchRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

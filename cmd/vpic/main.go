@@ -34,6 +34,7 @@ func main() {
 		every   = flag.Int("every", 10, "energy sample interval (steps)")
 		ranks   = flag.Int("ranks", 1, "domain-decomposed rank count")
 		workers = flag.Int("workers", 0, "pipeline workers per rank (0 = CPUs/rank, capped at 8)")
+		lanes   = flag.Int("lanes", 0, "push kernel width: 8 = wide-lane AoSoA kernel, 1 = scalar oracle (0 = default 8; bit-identical either way)")
 		overlap = flag.Bool("overlap", true, "overlap communication with computation (bit-identical either way)")
 		ppc     = flag.Int("ppc", 64, "particles per cell")
 		nx      = flag.Int("nx", 64, "cells along x (non-LPI decks)")
@@ -88,6 +89,9 @@ func main() {
 	}
 	if *workers != 0 {
 		d.Cfg.Workers = *workers
+	}
+	if *lanes != 0 {
+		d.Cfg.Lanes = *lanes
 	}
 	// An explicit -overlap wins; otherwise a config file's setting
 	// stands and the flag default applies only to flag-driven runs.

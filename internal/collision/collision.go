@@ -37,6 +37,9 @@ type Operator struct {
 	src *rng.Source
 	// scratch index list, reused across calls
 	idx []int32
+	// scratch gathered-cell buffer: the AoSoA storage is gathered into
+	// AoS form per cell run, collided in place, and scattered back
+	cell []particle.Particle
 }
 
 // New validates and builds an operator with its own RNG stream.
@@ -63,20 +66,32 @@ func (o *Operator) Due(step int) bool {
 // reason). dt is the simulation time step; the operator accounts for
 // its Interval internally.
 func (o *Operator) Apply(g *grid.Grid, buf *particle.Buffer, dt float64) {
-	p := buf.P
-	n := len(p)
+	n := buf.N()
 	if n < 2 || o.Nu0 == 0 {
 		return
 	}
 	tau := o.Nu0 * dt * float64(o.Interval)
 	start := 0
 	for start < n {
-		v := p[start].Voxel
+		v := buf.Voxel(start)
 		end := start + 1
-		for end < n && p[end].Voxel == v {
+		for end < n && buf.Voxel(end) == v {
 			end++
 		}
-		o.collideCell(p[start:end], tau)
+		// Gather the cell run out of its AoSoA lanes, collide, scatter
+		// back. The gathered order is buffer order, so the RNG pairing
+		// stream is identical to the pre-layout operator's.
+		if cap(o.cell) < end-start {
+			o.cell = make([]particle.Particle, end-start)
+		}
+		cell := o.cell[:end-start]
+		for i := range cell {
+			cell[i] = buf.At(start + i)
+		}
+		o.collideCell(cell, tau)
+		for i := range cell {
+			buf.Set(start+i, cell[i])
+		}
 		start = end
 	}
 }

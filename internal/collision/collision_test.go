@@ -34,7 +34,7 @@ func thermalBuffer(g *grid.Grid, ppc int, uthX, uthY, uthZ float64, seed uint64)
 }
 
 func moments(buf *particle.Buffer) (px, py, pz, ke, t2x, t2y, t2z float64) {
-	for _, p := range buf.P {
+	for _, p := range buf.All() {
 		px += float64(p.Ux)
 		py += float64(p.Uy)
 		pz += float64(p.Uz)
@@ -120,11 +120,11 @@ func TestIsotropization(t *testing.T) {
 func TestZeroFrequencyIsNoop(t *testing.T) {
 	g := grid.MustNew(2, 2, 2, 1, 1, 1)
 	buf := thermalBuffer(g, 16, 0.1, 0.1, 0.1, 1)
-	before := append([]particle.Particle(nil), buf.P...)
+	before := buf.All()
 	o, _ := New(0, 0.1, 1, 1, 0)
 	o.Apply(g, buf, 0.1)
 	for i := range before {
-		if before[i] != buf.P[i] {
+		if before[i] != buf.At(i) {
 			t.Fatal("zero-frequency operator changed particles")
 		}
 	}
@@ -140,7 +140,7 @@ func TestCollisionsStayWithinCells(t *testing.T) {
 	}
 	o, _ := New(100, 1, 1, 1, 0)
 	o.Apply(g, buf, 1)
-	for i, p := range buf.P {
+	for i, p := range buf.All() {
 		if p.Ux != float32(i+1) {
 			t.Fatalf("lone particle %d scattered: ux = %g", i, p.Ux)
 		}
@@ -153,7 +153,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 		buf := thermalBuffer(g, 32, 0.1, 0.1, 0.1, 11)
 		o, _ := New(1, 0.1, 1, 42, 0)
 		o.Apply(g, buf, 0.1)
-		return append([]particle.Particle(nil), buf.P...)
+		return buf.All()
 	}
 	a, b := run(), run()
 	for i := range a {

@@ -132,9 +132,13 @@ func (rk *Rank) writeState(c *cpWriter) {
 		c.u64(0)
 	}
 	for _, sp := range rk.Species {
-		c.u64(uint64(sp.Buf.N()))
-		for i := range sp.Buf.P {
-			p := &sp.Buf.P[i]
+		n := sp.Buf.N()
+		c.u64(uint64(n))
+		// Particles serialize in gathered AoS form in index order, so the
+		// byte stream (and hence StateCRC) is invariant under the storage
+		// layout.
+		for i := 0; i < n; i++ {
+			p := sp.Buf.At(i)
 			c.f32s([]float32{p.Dx, p.Dy, p.Dz})
 			c.u64(uint64(uint32(p.Voxel)))
 			c.f32s([]float32{p.Ux, p.Uy, p.Uz, p.W})

@@ -12,6 +12,7 @@ import (
 	"govpic/internal/grid"
 	"govpic/internal/laser"
 	"govpic/internal/loader"
+	"govpic/internal/particle"
 	"govpic/internal/pipe"
 	"govpic/internal/push"
 )
@@ -86,6 +87,12 @@ type Config struct {
 	// baseline kernel (for the ablation benchmarks).
 	UseReferencePusher bool
 
+	// Lanes selects the push sweep shape: particle.Lanes (8) runs the
+	// wide-lane AoSoA kernel, 1 the scalar fused oracle. 0 resolves to
+	// particle.Lanes. The two shapes are bit-identical (see
+	// internal/push), so this is a speed knob, not a physics knob.
+	Lanes int
+
 	// NoOverlap disables communication/computation overlap: every
 	// exchange runs on the synchronous blocking paths and the time step
 	// performs no concurrent communication. The zero value (overlap on)
@@ -108,6 +115,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Workers > pipe.NumBlocks {
 		c.Workers = pipe.NumBlocks
+	}
+	if c.Lanes == 0 {
+		c.Lanes = particle.Lanes
+	}
+	if c.Lanes != 1 && c.Lanes != particle.Lanes {
+		return fmt.Errorf("core: Lanes %d must be 1 or %d", c.Lanes, particle.Lanes)
 	}
 	if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
 		return fmt.Errorf("core: cell counts %d×%d×%d invalid", c.NX, c.NY, c.NZ)

@@ -85,10 +85,12 @@ func TestPlasmaOscillation(t *testing.T) {
 	g := s.Ranks[0].D.G
 	lx, _, _ := g.Extent()
 	k := 2 * math.Pi / lx
-	for i := range s.Ranks[0].Species[0].Buf.P {
-		p := &s.Ranks[0].Species[0].Buf.P[i]
+	buf := s.Ranks[0].Species[0].Buf
+	for i := 0; i < buf.N(); i++ {
+		p := buf.At(i)
 		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
 		p.Ux += float32(0.01 * math.Sin(k*x))
+		buf.Set(i, p)
 	}
 
 	probe := g.Voxel(8, 1, 1)

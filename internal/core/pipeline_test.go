@@ -87,15 +87,15 @@ func compareSims(t *testing.T, a, b *Simulation, label string) {
 	for r := range a.Ranks {
 		ra, rb := a.Ranks[r], b.Ranks[r]
 		for si := range ra.Species {
-			pa, pb := ra.Species[si].Buf.P, rb.Species[si].Buf.P
-			if len(pa) != len(pb) {
+			pa, pb := ra.Species[si].Buf, rb.Species[si].Buf
+			if pa.N() != pb.N() {
 				t.Fatalf("%s: rank %d species %d particle counts %d vs %d",
-					label, r, si, len(pa), len(pb))
+					label, r, si, pa.N(), pb.N())
 			}
-			for i := range pa {
-				if pa[i] != pb[i] {
+			for i := 0; i < pa.N(); i++ {
+				if pa.At(i) != pb.At(i) {
 					t.Fatalf("%s: rank %d species %d particle %d differs:\n%+v\n%+v",
-						label, r, si, i, pa[i], pb[i])
+						label, r, si, i, pa.At(i), pb.At(i))
 				}
 			}
 		}

@@ -182,6 +182,7 @@ func newRank(cfg *Config, dcfg domain.Config, comm *mp.Comm) (*Rank, error) {
 			}
 		}
 		k := push.NewKernel(d.G, rk.IP, rk.Acc, sp.Q, sp.M, cfg.DT)
+		k.Lanes = cfg.Lanes
 		k.Bound = d.ParticleActions()
 		rk.Species = append(rk.Species, sp)
 		rk.Kernels = append(rk.Kernels, k)
@@ -260,18 +261,21 @@ func shellMask(d *domain.Domain) []bool {
 // the buffer (independent of worker count), so the split push remains
 // bit-identical for any number of workers.
 func (rk *Rank) partitionBoundary(buf *particle.Buffer) int {
-	p := buf.P
+	n := buf.N()
 	tail := rk.partTail[:0]
 	w := 0
-	for i := range p {
-		if rk.shell[p[i].Voxel] {
-			tail = append(tail, p[i])
+	for i := 0; i < n; i++ {
+		p := buf.At(i)
+		if rk.shell[p.Voxel] {
+			tail = append(tail, p)
 		} else {
-			p[w] = p[i]
+			buf.Set(w, p)
 			w++
 		}
 	}
-	copy(p[w:], tail)
+	for j := range tail {
+		buf.Set(w+j, tail[j])
+	}
 	rk.partTail = tail
 	return w
 }
@@ -423,7 +427,10 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 			rk.pool.Run(pipe.NumBlocks, func(b int) {
 				bs := rk.blockSt[b]
 				bs.Reset()
-				lo, hi := pipe.BlockBounds(n, pipe.NumBlocks, b)
+				// Lane-aligned cuts: each pipeline sweeps whole AoSoA
+				// blocks, so the wide-lane kernel runs full spans and no
+				// two pipelines write lanes of the same storage block.
+				lo, hi := pipe.AlignedRange(0, n, pipe.NumBlocks, b, particle.Lanes)
 				k.AdvanceBlock(buf, lo, hi, rk.pipeAcc[b], bs)
 			})
 			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)
@@ -456,8 +463,8 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 			rk.pool.Run(pipe.NumBlocks, func(b int) {
 				bs := rk.blockSt[b]
 				bs.Reset()
-				lo, hi := pipe.BlockBounds(nb, pipe.NumBlocks, b)
-				k.AdvanceBlock(buf, ni+lo, ni+hi, rk.pipeAcc[b], bs)
+				lo, hi := pipe.AlignedRange(ni, ni+nb, pipe.NumBlocks, b, particle.Lanes)
+				k.AdvanceBlock(buf, lo, hi, rk.pipeAcc[b], bs)
 			})
 			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)
 		}
@@ -473,7 +480,7 @@ func (rk *Rank) stepOnce(cfg *Config, tNow float64, step int, doClean bool) {
 			rk.pool.Run(pipe.NumBlocks, func(b int) {
 				bs := rk.blockSt[b]
 				bs.Reset()
-				lo, hi := pipe.BlockBounds(ni, pipe.NumBlocks, b)
+				lo, hi := pipe.AlignedRange(0, ni, pipe.NumBlocks, b, particle.Lanes)
 				k.AdvanceBlock(buf, lo, hi, rk.pipeAcc[b], bs)
 			})
 			k.FinishBlocks(buf, rk.blockSt, rk.pipeAcc)

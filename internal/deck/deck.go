@@ -219,10 +219,11 @@ func PerturbVelocity(s *core.Simulation, speciesIdx int, amp float64, mode int) 
 	for _, rk := range s.Ranks {
 		g := rk.D.G
 		buf := rk.Species[speciesIdx].Buf
-		for i := range buf.P {
-			p := &buf.P[i]
+		for i := 0; i < buf.N(); i++ {
+			p := buf.At(i)
 			x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
 			p.Ux += float32(amp * math.Sin(k*x))
+			buf.Set(i, p)
 		}
 	}
 	return nil

@@ -42,7 +42,7 @@ func TestPlasmaOscillationDeckPerturbed(t *testing.T) {
 	}
 	// The setup must have seeded a net sinusoidal ux pattern.
 	var anyNonzero bool
-	for _, p := range s.Ranks[0].Species[0].Buf.P {
+	for _, p := range s.Ranks[0].Species[0].Buf.All() {
 		if p.Ux != 0 {
 			anyNonzero = true
 			break

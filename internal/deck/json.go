@@ -25,6 +25,9 @@ type JSONConfig struct {
 	// Workers is the intra-rank pipeline worker count (0 = one per
 	// available CPU per rank, capped at the pipeline block count).
 	Workers int `json:"workers,omitempty"`
+	// Lanes is the push kernel width: 8 (or absent) runs the wide-lane
+	// AoSoA kernel, 1 the scalar fused oracle. Bit-identical either way.
+	Lanes int `json:"lanes,omitempty"`
 	// Overlap toggles communication/computation overlap (nonblocking
 	// exchanges hidden behind the interior push and field advance).
 	// Absent means on; results are bit-identical either way.
@@ -154,6 +157,7 @@ func (c JSONConfig) Build() (Deck, error) {
 		return Deck{}, fmt.Errorf("deck: negative workers %d", c.Workers)
 	}
 	d.Cfg.Workers = c.Workers
+	d.Cfg.Lanes = c.Lanes // validated by core.Config.Validate
 	if c.Overlap != nil {
 		d.Cfg.NoOverlap = !*c.Overlap
 	}

@@ -231,8 +231,8 @@ func (r *Reflectometer) MaxWindowed(window float64) float64 {
 func DistUx(g *grid.Grid, buf *particle.Buffer, xmin, xmax, umin, umax float64, bins int) []float64 {
 	h := make([]float64, bins)
 	du := (umax - umin) / float64(bins)
-	for i := range buf.P {
-		p := &buf.P[i]
+	for i := 0; i < buf.N(); i++ {
+		p := buf.At(i)
 		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
 		if x < xmin || x >= xmax {
 			continue

@@ -35,8 +35,8 @@ func NewMoments(g *grid.Grid) *Moments {
 // each particle contributes wholly to its containing cell, the cheap
 // zeroth-order assignment used for run-time monitoring).
 func (m *Moments) Accumulate(buf *particle.Buffer) {
-	for i := range buf.P {
-		p := &buf.P[i]
+	for i := 0; i < buf.N(); i++ {
+		p := buf.At(i)
 		v := p.Voxel
 		w := p.W
 		m.Density[v] += w

@@ -29,8 +29,8 @@ func NewPhaseSpace(xmin, xmax float64, nx int, umin, umax float64, nu int) *Phas
 func (ps *PhaseSpace) Accumulate(g *grid.Grid, buf *particle.Buffer) {
 	sx := float64(ps.NX) / (ps.XMax - ps.XMin)
 	su := float64(ps.NU) / (ps.UMax - ps.UMin)
-	for i := range buf.P {
-		p := &buf.P[i]
+	for i := 0; i < buf.N(); i++ {
+		p := buf.At(i)
 		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
 		ix := int((x - ps.XMin) * sx)
 		iu := int((float64(p.Ux) - ps.UMin) * su)

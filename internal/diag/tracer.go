@@ -66,11 +66,11 @@ func (tr *Tracer) N() int { return tr.buf.N() }
 func (tr *Tracer) Step(t float64) {
 	tr.kernel.AdvanceP(tr.buf)
 	tr.kernel.ClearOutgoing() // migrating test particles are dropped
-	for i := range tr.buf.P {
+	for i := 0; i < tr.buf.N(); i++ {
 		if i >= len(tr.Hist) {
 			tr.Hist = append(tr.Hist, nil)
 		}
-		p := &tr.buf.P[i]
+		p := tr.buf.At(i)
 		x, y, z := tr.G.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
 		tr.Hist[i] = append(tr.Hist[i], TracerSample{
 			T: t, X: x, Y: y, Z: z, Ux: p.Ux, Uy: p.Uy, Uz: p.Uz,

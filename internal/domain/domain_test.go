@@ -215,7 +215,7 @@ func TestParticleMigration(t *testing.T) {
 				t.Errorf("rank 1 holds %d particles, want 1", buf.N())
 				return
 			}
-			ix, iy, iz := g.Unvoxel(int(buf.P[0].Voxel))
+			ix, iy, iz := g.Unvoxel(int(buf.Voxel(0)))
 			if ix != 1 || iy != 1 || iz != 2 {
 				t.Errorf("migrated particle at (%d,%d,%d), want (1,1,2)", ix, iy, iz)
 			}

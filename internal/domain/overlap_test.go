@@ -143,7 +143,7 @@ func TestParticleMigrationOverlapMatchesSync(t *testing.T) {
 					t.Errorf("overlap=%v: rank 1 holds %d particles, want 1", overlap, buf.N())
 					return
 				}
-				ix, iy, iz := g.Unvoxel(int(buf.P[0].Voxel))
+				ix, iy, iz := g.Unvoxel(int(buf.Voxel(0)))
 				if ix != 1 || iy != 1 || iz != 2 {
 					t.Errorf("overlap=%v: migrated particle at (%d,%d,%d), want (1,1,2)", overlap, ix, iy, iz)
 				}

@@ -274,7 +274,7 @@ func AblationSort(cellsX, ppc, steps int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	shuffle(shuffledSim.Ranks[0].Species[0].Buf.P)
+	shuffle(shuffledSim.Ranks[0].Species[0].Buf)
 	shuffled := measure(shuffledSim)
 
 	return Result{
@@ -285,10 +285,12 @@ func AblationSort(cellsX, ppc, steps int) (Result, error) {
 }
 
 // shuffle applies a deterministic Fisher-Yates permutation.
-func shuffle(p []particle.Particle) {
+func shuffle(b *particle.Buffer) {
 	src := rng.New(0xabcde, 0)
-	for i := len(p) - 1; i > 0; i-- {
+	for i := b.N() - 1; i > 0; i-- {
 		j := src.Intn(i + 1)
-		p[i], p[j] = p[j], p[i]
+		pi, pj := b.At(i), b.At(j)
+		b.Set(i, pj)
+		b.Set(j, pi)
 	}
 }

@@ -128,8 +128,8 @@ func LoadNeutralizing(electrons *particle.Buffer, z float64, uth [3]float64, see
 		return fmt.Errorf("loader: ion charge state %g must be >0", z)
 	}
 	src := rng.New(seed, 777)
-	for i := range electrons.P {
-		e := &electrons.P[i]
+	for i := 0; i < electrons.N(); i++ {
+		e := electrons.At(i)
 		buf.Append(particle.Particle{
 			Dx: e.Dx, Dy: e.Dy, Dz: e.Dz, Voxel: e.Voxel,
 			Ux: float32(src.Maxwellian(uth[0])),

@@ -36,7 +36,7 @@ func TestLoadCountAndWeights(t *testing.T) {
 	}
 	// Total charge-weight must equal n0 · domain volume.
 	var sumW float64
-	for _, p := range buf.P {
+	for _, p := range buf.All() {
 		sumW += float64(p.W)
 	}
 	lx, ly, lz := g.Extent()
@@ -56,7 +56,7 @@ func TestLoadThermalSpread(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mx, m2y float64
-	for _, p := range buf.P {
+	for _, p := range buf.All() {
 		mx += float64(p.Ux)
 		m2y += float64(p.Uy) * float64(p.Uy)
 	}
@@ -100,12 +100,12 @@ func TestLoadDecompositionInvariant(t *testing.T) {
 	// match particle-by-particle through global positions.
 	type key struct{ x, y, z, ux float32 }
 	wholeSet := map[key]int{}
-	for _, q := range whole.P {
+	for _, q := range whole.All() {
 		x, y, z := gw.Position(int(q.Voxel), q.Dx, q.Dy, q.Dz)
 		wholeSet[key{float32(x), float32(y), float32(z), q.Ux}]++
 	}
 	check := func(g *grid.Grid, b *particle.Buffer) {
-		for _, q := range b.P {
+		for _, q := range b.All() {
 			x, y, z := g.Position(int(q.Voxel), q.Dx, q.Dy, q.Dz)
 			k := key{float32(x), float32(y), float32(z), q.Ux}
 			if wholeSet[k] == 0 {
@@ -138,7 +138,7 @@ func TestLoadSkipsVacuum(t *testing.T) {
 	if _, err := Load(g, gl, Params{Profile: Slab(0.1, 4, 6, 0), PPC: 10, Nref: 0.1, Seed: 3}, buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range buf.P {
+	for _, p := range buf.All() {
 		x, _, _ := g.Position(int(p.Voxel), p.Dx, p.Dy, p.Dz)
 		if x < 4 || x > 6 {
 			t.Fatalf("particle at x=%g outside slab", x)
@@ -163,8 +163,8 @@ func TestLoadNeutralizing(t *testing.T) {
 	if ions.N() != electrons.N() {
 		t.Fatalf("ion count %d != electron count %d", ions.N(), electrons.N())
 	}
-	for i := range ions.P {
-		e, ion := electrons.P[i], ions.P[i]
+	for i := 0; i < ions.N(); i++ {
+		e, ion := electrons.At(i), ions.At(i)
 		if e.Voxel != ion.Voxel || e.Dx != ion.Dx || e.Dy != ion.Dy || e.Dz != ion.Dz {
 			t.Fatal("ion not co-located with its electron")
 		}

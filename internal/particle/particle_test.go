@@ -13,6 +13,12 @@ func TestParticleIs32Bytes(t *testing.T) {
 	if s := unsafe.Sizeof(Particle{}); s != 32 {
 		t.Fatalf("Particle is %d bytes, want 32", s)
 	}
+	// The AoSoA block must pack exactly Lanes such records with no
+	// padding, or the traffic model (BlockBytes per streamed block) and
+	// the lane index arithmetic would both be off.
+	if s := unsafe.Sizeof(Block{}); s != BlockBytes {
+		t.Fatalf("Block is %d bytes, want %d", s, BlockBytes)
+	}
 }
 
 func TestBufferAppendRemove(t *testing.T) {
@@ -27,12 +33,128 @@ func TestBufferAppendRemove(t *testing.T) {
 	if b.N() != 4 {
 		t.Fatalf("N after remove = %d", b.N())
 	}
-	if b.P[1].Voxel != 4 {
-		t.Fatalf("swap-remove put voxel %d in slot 1, want 4", b.P[1].Voxel)
+	if b.At(1).Voxel != 4 {
+		t.Fatalf("swap-remove put voxel %d in slot 1, want 4", b.At(1).Voxel)
 	}
 	b.Clear()
-	if b.N() != 0 || cap(b.P) == 0 {
+	if b.N() != 0 || b.Cap() == 0 {
 		t.Fatal("Clear must empty but keep capacity")
+	}
+}
+
+func TestBufferEmpty(t *testing.T) {
+	b := NewBuffer(0)
+	if b.N() != 0 || b.NBlocks() != 0 {
+		t.Fatalf("empty buffer: N=%d NBlocks=%d", b.N(), b.NBlocks())
+	}
+	if got := b.All(); len(got) != 0 {
+		t.Fatalf("All() of empty buffer has %d entries", len(got))
+	}
+	if ke := b.KineticEnergy(1); ke != 0 {
+		t.Fatalf("KE of empty buffer = %g", ke)
+	}
+}
+
+// TestBufferBlockGeometry drives Append across several block boundaries
+// and checks the lane bookkeeping at every non-multiple-of-Lanes count.
+func TestBufferBlockGeometry(t *testing.T) {
+	b := NewBuffer(1) // deliberately undersized: Append must grow blocks
+	const total = 3*Lanes + 5
+	for i := 0; i < total; i++ {
+		b.Append(Particle{Voxel: int32(i), W: float32(i)})
+		n := i + 1
+		if b.N() != n {
+			t.Fatalf("N = %d after %d appends", b.N(), n)
+		}
+		wantBlocks := (n + LaneMask) >> LaneShift
+		if b.NBlocks() != wantBlocks {
+			t.Fatalf("n=%d: NBlocks = %d, want %d", n, b.NBlocks(), wantBlocks)
+		}
+		// Every particle so far must be intact (growth may move blocks).
+		for j := 0; j <= i; j++ {
+			if p := b.At(j); p.Voxel != int32(j) || p.W != float32(j) {
+				t.Fatalf("n=%d: particle %d corrupted: %+v", n, j, p)
+			}
+		}
+		// Lane counts: full blocks Lanes, the tail block the remainder.
+		for bi := 0; bi < b.NBlocks(); bi++ {
+			want := Lanes
+			if bi == b.NBlocks()-1 && n%Lanes != 0 {
+				want = n % Lanes
+			}
+			if lc := b.LaneCount(bi); lc != want {
+				t.Fatalf("n=%d: LaneCount(%d) = %d, want %d", n, bi, lc, want)
+			}
+		}
+	}
+	// RemoveSwap back down across the same boundaries.
+	for n := total; n > 0; n-- {
+		b.RemoveSwap(0)
+		if b.N() != n-1 || b.NBlocks() != (n-1+LaneMask)>>LaneShift {
+			t.Fatalf("after remove to %d: N=%d NBlocks=%d", n-1, b.N(), b.NBlocks())
+		}
+	}
+}
+
+func TestBufferSetAtRoundTrip(t *testing.T) {
+	b := NewBuffer(2 * Lanes)
+	for i := 0; i < 2*Lanes-3; i++ {
+		b.Append(Particle{})
+	}
+	p := Particle{Dx: 0.25, Dy: -0.5, Dz: 1, Voxel: 42, Ux: -3, Uy: 2, Uz: 0.125, W: 7}
+	for _, i := range []int{0, Lanes - 1, Lanes, 2*Lanes - 4} {
+		q := p
+		q.Voxel = int32(i)
+		b.Set(i, q)
+		if got := b.At(i); got != q {
+			t.Fatalf("slot %d: At = %+v, want %+v", i, got, q)
+		}
+		if b.Voxel(i) != int32(i) {
+			t.Fatalf("Voxel(%d) = %d", i, b.Voxel(i))
+		}
+	}
+}
+
+// TestBufferSwap checks the zero-copy contract: after a Swap the buffer
+// serves the new blocks and hands the old storage back intact.
+func TestBufferSwap(t *testing.T) {
+	b := NewBuffer(Lanes + 1)
+	for i := 0; i < Lanes+1; i++ {
+		b.Append(Particle{Voxel: int32(i)})
+	}
+	old := b.Blk
+	repl := make([]Block, len(old))
+	copy(repl, old)
+	repl[0].Voxel[0] = 99
+	got := b.Swap(repl)
+	if &got[0] != &old[0] {
+		t.Fatal("Swap did not return the previous storage")
+	}
+	if b.N() != Lanes+1 || b.Voxel(0) != 99 || b.Voxel(Lanes) != Lanes {
+		t.Fatalf("after swap: N=%d voxel0=%d", b.N(), b.Voxel(0))
+	}
+}
+
+func TestBufferCopyFromAndAll(t *testing.T) {
+	src := NewBuffer(0)
+	for i := 0; i < Lanes+3; i++ {
+		src.Append(Particle{Voxel: int32(i), Ux: float32(i)})
+	}
+	var dst Buffer
+	dst.CopyFrom(src)
+	if dst.N() != src.N() {
+		t.Fatalf("CopyFrom: N=%d want %d", dst.N(), src.N())
+	}
+	// Deep copy: mutating the destination must not touch the source.
+	dst.Set(0, Particle{Voxel: -1})
+	if src.Voxel(0) != 0 {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+	all := src.All()
+	for i, p := range all {
+		if p.Voxel != int32(i) || p.Ux != float32(i) {
+			t.Fatalf("All()[%d] = %+v", i, p)
+		}
 	}
 }
 

@@ -51,6 +51,34 @@ func BlockBounds(n, nb, b int) (lo, hi int) {
 	return b * n / nb, (b + 1) * n / nb
 }
 
+// AlignedRange returns the [lo,hi) bounds of block b when the items
+// [lo0,hi0) are split into nb near-equal contiguous blocks whose
+// interior cut points are rounded up to multiples of align — used to
+// hand each pipeline whole AoSoA lane blocks, so concurrent sweeps
+// share no storage block at the seams and the wide-lane kernel runs
+// full spans. The cuts depend only on (lo0, hi0, nb, align), never on
+// the worker count, preserving the package's determinism rule. The end
+// cuts stay exactly lo0 and hi0, so the union of the nb ranges covers
+// the input for any alignment; small ranges may leave trailing blocks
+// empty. align must be a power of two.
+func AlignedRange(lo0, hi0, nb, b, align int) (lo, hi int) {
+	cut := func(k int) int {
+		if k <= 0 {
+			return lo0
+		}
+		if k >= nb {
+			return hi0
+		}
+		c := lo0 + k*(hi0-lo0)/nb
+		c = (c + align - 1) &^ (align - 1)
+		if c > hi0 {
+			c = hi0
+		}
+		return c
+	}
+	return cut(b), cut(b + 1)
+}
+
 // Pool runs parallel loops on up to W concurrent goroutines and
 // accumulates busy/wall time for utilization reporting. A nil *Pool is
 // valid and runs everything inline on the caller (with no accounting),

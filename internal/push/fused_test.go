@@ -1,6 +1,7 @@
 package push
 
 import (
+	stdsort "sort"
 	"testing"
 
 	"govpic/internal/particle"
@@ -22,28 +23,30 @@ func fusedPair(t testing.TB, n int, seed uint64, sorted bool) (*rig, *Kernel, *r
 
 	ra.loadRandom(n, 0.3, seed)
 	if sorted {
-		sortByVoxel(ra.buf.P)
+		sortByVoxel(ra.buf)
 	} else {
 		// Deliberately adversarial order: shuffle, then duplicate a few
 		// voxels far apart so the same cell appears in many short runs.
 		src := rng.New(seed^0x9e37, 1)
-		p := ra.buf.P
-		for i := len(p) - 1; i > 0; i-- {
+		for i := ra.buf.N() - 1; i > 0; i-- {
 			j := src.Intn(i + 1)
-			p[i], p[j] = p[j], p[i]
+			pi, pj := ra.buf.At(i), ra.buf.At(j)
+			ra.buf.Set(i, pj)
+			ra.buf.Set(j, pi)
 		}
 	}
-	rb.buf.P = append(rb.buf.P[:0], ra.buf.P...)
+	rb.buf.CopyFrom(ra.buf)
 	return ra, ka, rb, kb
 }
 
-// sortByVoxel is an insertion sort by voxel — fine at test sizes, and
-// avoids importing the sort package under test elsewhere.
-func sortByVoxel(p []particle.Particle) {
-	for i := 1; i < len(p); i++ {
-		for j := i; j > 0 && p[j].Voxel < p[j-1].Voxel; j-- {
-			p[j], p[j-1] = p[j-1], p[j]
-		}
+// sortByVoxel stably sorts the buffer by voxel via the standard
+// library — test fixtures only; avoids importing this repo's sort
+// package (which is itself under test elsewhere).
+func sortByVoxel(b *particle.Buffer) {
+	p := b.All()
+	stdsort.SliceStable(p, func(i, j int) bool { return p[i].Voxel < p[j].Voxel })
+	for i := range p {
+		b.Set(i, p[i])
 	}
 }
 
@@ -61,10 +64,10 @@ func checkFusedIdentical(t *testing.T, ra *rig, ka *Kernel, rb *rig, kb *Kernel,
 		if ra.buf.N() != rb.buf.N() {
 			t.Fatalf("step %d: particle counts diverged: %d vs %d", s, ra.buf.N(), rb.buf.N())
 		}
-		for i := range ra.buf.P {
-			if ra.buf.P[i] != rb.buf.P[i] {
+		for i := 0; i < ra.buf.N(); i++ {
+			if ra.buf.At(i) != rb.buf.At(i) {
 				t.Fatalf("step %d: particle %d diverged:\nfused   %+v\nunfused %+v",
-					s, i, ra.buf.P[i], rb.buf.P[i])
+					s, i, ra.buf.At(i), rb.buf.At(i))
 			}
 		}
 		for v := range ra.acc.A {
@@ -123,25 +126,29 @@ func TestFusedMatchesUnfusedProperty(t *testing.T) {
 }
 
 // TestAdvanceZeroAllocSteadyState: once Prealloc has sized the mover and
-// outgoing buffers, a serial AdvanceP step allocates nothing.
+// outgoing buffers, a serial AdvanceP step allocates nothing — for both
+// sweep shapes.
 func TestAdvanceZeroAllocSteadyState(t *testing.T) {
-	r := newRig(8, 6, 4, 0.5)
-	r.smoothFields(0.4)
-	k := r.kernel(-1, 1, 0.15)
-	r.loadRandom(5000, 0.3, 3)
-	sortByVoxel(r.buf.P)
-	k.Prealloc(r.buf.N(), 64)
-	// Warm up: grows anything Prealloc under-sized.
-	for s := 0; s < 3; s++ {
-		r.acc.Clear()
-		k.AdvanceP(r.buf)
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		r.acc.Clear()
-		k.AdvanceP(r.buf)
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state AdvanceP allocates %.1f objects/step, want 0", allocs)
+	for _, lanes := range []int{1, particle.Lanes} {
+		r := newRig(8, 6, 4, 0.5)
+		r.smoothFields(0.4)
+		k := r.kernel(-1, 1, 0.15)
+		k.Lanes = lanes
+		r.loadRandom(5000, 0.3, 3)
+		sortByVoxel(r.buf)
+		k.Prealloc(r.buf.N(), 64)
+		// Warm up: grows anything Prealloc under-sized.
+		for s := 0; s < 3; s++ {
+			r.acc.Clear()
+			k.AdvanceP(r.buf)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			r.acc.Clear()
+			k.AdvanceP(r.buf)
+		})
+		if allocs != 0 {
+			t.Fatalf("lanes=%d: steady-state AdvanceP allocates %.1f objects/step, want 0", lanes, allocs)
+		}
 	}
 }
 
@@ -153,7 +160,7 @@ func benchSortedRig(b *testing.B, n int, sorted bool) (*rig, *Kernel) {
 	k := r.kernel(-1, 1, 0.1)
 	r.loadRandom(n, 0.2, 17)
 	if sorted {
-		sortByVoxel(r.buf.P)
+		sortByVoxel(r.buf)
 	}
 	k.Prealloc(n/8, 64)
 	r.acc.Clear()
@@ -161,38 +168,46 @@ func benchSortedRig(b *testing.B, n int, sorted bool) (*rig, *Kernel) {
 	return r, k
 }
 
-// BenchmarkPushSortedRuns measures the fused kernel against the unfused
-// baseline on the same sorted buffer, and the fused kernel's worst case
-// (unsorted buffer, one run per particle). The gap between fused/sorted
-// and unfused/sorted is what run fusion buys; allocations must be 0.
+// BenchmarkPushSortedRuns measures the wide-lane and scalar fused
+// kernels against the unfused baseline on the same sorted buffer, and
+// the lane kernel's worst case (unsorted buffer, one run per particle).
+// The lanes=8 vs lanes=1 gap is what the AoSoA lane shape buys; the
+// lanes=1 vs unfused gap is what run fusion buys. Allocations must
+// be 0.
 func BenchmarkPushSortedRuns(b *testing.B) {
 	const n = 100000
 	cases := []struct {
 		name   string
 		sorted bool
-		fused  bool
+		lanes  int // 0 = unfused baseline
 	}{
-		{"fused/sorted", true, true},
-		{"unfused/sorted", true, false},
-		{"fused/unsorted", false, true},
+		{"lanes8/sorted", true, particle.Lanes},
+		{"lanes1/sorted", true, 1},
+		{"unfused/sorted", true, 0},
+		{"lanes8/unsorted", false, particle.Lanes},
+		{"lanes1/unsorted", false, 1},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			r, k := benchSortedRig(b, n, c.sorted)
+			if c.lanes > 0 {
+				k.Lanes = c.lanes
+			}
 			// Advancing decays the voxel order, so every iteration restores
 			// the pristine buffer (outside the timer): each measured sweep
 			// sees the exact same run-length distribution.
-			pristine := append([]particle.Particle(nil), r.buf.P...)
+			pristine := particle.NewBuffer(0)
+			pristine.CopyFrom(r.buf)
 			k.ResetStats() // drop warm-up counts so rates cover timed sweeps only
 			b.ReportAllocs()
 			b.SetBytes(int64(n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				copy(r.buf.P, pristine)
+				r.buf.CopyFrom(pristine)
 				r.acc.ClearFull()
 				b.StartTimer()
-				if c.fused {
+				if c.lanes > 0 {
 					k.AdvanceP(r.buf)
 				} else {
 					k.AdvancePUnfused(r.buf)

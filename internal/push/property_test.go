@@ -1,11 +1,13 @@
 package push
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"govpic/internal/particle"
+	"govpic/internal/pipe"
 )
 
 // TestScatterWeightClosure verifies the Villasenor-Buneman weight
@@ -40,6 +42,93 @@ func TestScatterWeightClosure(t *testing.T) {
 	}
 }
 
+// TestLaneKernelMatchesUnfusedMatrix cross-checks the wide-lane kernel
+// against the unfused oracle across the full shape matrix: worker
+// counts W ∈ {1, 3, 8} × lanes ∈ {1, 8}, over a population that
+// includes a partially-filled trailing block (N ≢ 0 mod 8) and one
+// hand-built block in which every lane crosses a face on the first
+// step. Particle state must match bitwise and the integer counters
+// exactly; ELost and the reduced currents match to rounding (per-block
+// partial sums associate differently than the serial chain).
+func TestLaneKernelMatchesUnfusedMatrix(t *testing.T) {
+	const steps = 4
+	mk := func() (*rig, *Kernel) {
+		r := newRig(6, 5, 4, 0.5)
+		r.smoothFields(0.3)
+		// 4013 ≡ 5 (mod 8) even after the extra block below: the final
+		// AoSoA block stays partially filled through every re-sort.
+		r.loadRandom(4013, 0.5, 41)
+		// One all-lanes-crossing block: eight particles parked at the
+		// high-x cell edge moving fast enough in +x that the whole lane
+		// mask fires at once (ddx ≈ 0.9 offset units ≫ the 0.02 gap).
+		v := int32(r.g.Voxel(3, 2, 2))
+		for l := 0; l < particle.Lanes; l++ {
+			r.buf.Append(particle.Particle{
+				Voxel: v, Dx: 0.98, Dy: float32(l) * 0.01, Ux: 3, W: 1,
+			})
+		}
+		sortByVoxel(r.buf)
+		return r, r.kernel(-1, 1, 0.24)
+	}
+
+	ro, ko := mk()
+	for s := 0; s < steps; s++ {
+		ro.acc.Clear()
+		ko.AdvancePUnfused(ro.buf)
+	}
+
+	for _, w := range []int{1, 3, 8} {
+		for _, lanes := range []int{1, particle.Lanes} {
+			label := fmt.Sprintf("W=%d lanes=%d", w, lanes)
+			rb, kb := mk()
+			kb.Lanes = lanes
+			pool := pipe.New(w)
+			accs, blocks := blockFixture(rb)
+			for s := 0; s < steps; s++ {
+				runBlockedStep(kb, rb, pool, accs, blocks)
+			}
+
+			if ro.buf.N() != rb.buf.N() {
+				t.Fatalf("%s: particle counts diverged: %d vs %d", label, ro.buf.N(), rb.buf.N())
+			}
+			for i := 0; i < ro.buf.N(); i++ {
+				if ro.buf.At(i) != rb.buf.At(i) {
+					t.Fatalf("%s: particle %d differs:\nunfused %+v\nlane    %+v",
+						label, i, ro.buf.At(i), rb.buf.At(i))
+				}
+			}
+			if ko.NPushed != kb.NPushed || ko.NMoved != kb.NMoved ||
+				ko.NSeg != kb.NSeg || ko.NLost != kb.NLost ||
+				math.Abs(ko.ELost-kb.ELost) > 1e-12*math.Abs(ko.ELost) {
+				t.Fatalf("%s: counters diverged: unfused {%d %d %d %d %g} lane {%d %d %d %d %g}",
+					label, ko.NPushed, ko.NMoved, ko.NSeg, ko.NLost, ko.ELost,
+					kb.NPushed, kb.NMoved, kb.NSeg, kb.NLost, kb.ELost)
+			}
+			if kb.NMoved < int64(steps*particle.Lanes) {
+				t.Fatalf("%s: only %d crossings; the lane-mask path was not exercised", label, kb.NMoved)
+			}
+
+			var maxDiff, scale float64
+			for v := range ro.acc.A {
+				a, b := &ro.acc.A[v], &rb.acc.A[v]
+				for j := 0; j < 4; j++ {
+					for _, pair := range [][2]float32{{a.JX[j], b.JX[j]}, {a.JY[j], b.JY[j]}, {a.JZ[j], b.JZ[j]}} {
+						if d := math.Abs(float64(pair[0] - pair[1])); d > maxDiff {
+							maxDiff = d
+						}
+						if s := math.Abs(float64(pair[0])); s > scale {
+							scale = s
+						}
+					}
+				}
+			}
+			if maxDiff > 1e-5*(scale+1) {
+				t.Fatalf("%s: reduced current differs from unfused by %g (scale %g)", label, maxDiff, scale)
+			}
+		}
+	}
+}
+
 // TestPushZeroFieldIsBallistic: with no fields, momentum is untouched
 // and the displacement matches u/γ·(2dt/d) in offset units.
 func TestPushZeroFieldIsBallistic(t *testing.T) {
@@ -54,7 +143,7 @@ func TestPushZeroFieldIsBallistic(t *testing.T) {
 		r.buf.Append(particle.Particle{Voxel: int32(r.g.Voxel(4, 4, 4)), Ux: UX, Uy: UY, Uz: UZ, W: 1})
 		r.acc.Clear()
 		k.AdvanceP(r.buf)
-		p := r.buf.P[0]
+		p := r.buf.At(0)
 		if p.Ux != UX || p.Uy != UY || p.Uz != UZ {
 			return false
 		}
@@ -84,11 +173,11 @@ func TestEnergyKickMatchesWork(t *testing.T) {
 	k := r.kernel(-1, 1, dt)
 	r.buf.Append(particle.Particle{Voxel: int32(r.g.Voxel(4, 2, 2)), Ux: 0.3, W: 1})
 	ke0 := r.buf.KineticEnergy(1)
-	x0, _, _ := r.g.Position(int(r.buf.P[0].Voxel), r.buf.P[0].Dx, 0, 0)
+	x0, _, _ := r.g.Position(int(r.buf.At(0).Voxel), r.buf.At(0).Dx, 0, 0)
 	r.acc.Clear()
 	k.AdvanceP(r.buf)
 	ke1 := r.buf.KineticEnergy(1)
-	x1, _, _ := r.g.Position(int(r.buf.P[0].Voxel), r.buf.P[0].Dx, 0, 0)
+	x1, _, _ := r.g.Position(int(r.buf.At(0).Voxel), r.buf.At(0).Dx, 0, 0)
 	work := -1 * e0 * (x1 - x0) // q = −1
 	if math.Abs((ke1-ke0)-work) > 1e-3*math.Abs(work) {
 		t.Fatalf("ΔKE = %g, work = %g", ke1-ke0, work)

@@ -17,22 +17,49 @@
 // voxel order the periodic sort maintains: consecutive particles sharing
 // a voxel form a "run", and the run's 72-byte interpolator is loaded
 // once and its in-cell current accumulated in a register-resident
-// accum.Cell that is loaded at run start and stored at run end. The
-// arithmetic — every floating-point operation and its order — is
-// exactly the per-particle kernel's (the run machinery only changes
-// where partial sums live), so the output is bitwise identical to the
-// unfused sweep for sorted and unsorted buffers alike; see
-// AdvancePUnfused and the fused-equivalence property tests.
+// accum.Cell that is loaded at run start and stored at run end.
+//
+// Since the AoSoA layout change, the sweep comes in two selectable
+// shapes over the same particle.Block storage:
+//
+//   - The wide-lane kernel (Kernel.Lanes = particle.Lanes, the default)
+//     processes one 8-lane block per iteration, mirroring the paper's
+//     SPE quadword kernel: a straight-line, branch-free lane loop
+//     computes every lane's momentum update and displacement into
+//     fixed-size stack arrays and derives a per-block crosser bitmask
+//     from the offset magnitudes with integer arithmetic (no compares-
+//     and-branches); a second lane loop then scatters the common
+//     in-cell lanes into the run's register cell in ascending lane
+//     order, and only lanes flagged in the bitmask are deferred to the
+//     moveP machinery.
+//   - The scalar kernel (Kernel.Lanes = 1) is the pre-lane fused sweep,
+//     one particle per iteration, kept as the selectable oracle
+//     (cmd/vpic -lanes=1).
+//
+// Both shapes perform the identical floating-point operations in the
+// identical per-particle order, and the lane kernel's deferred scatter
+// preserves the scalar path's ascending-index accumulation chain into
+// the run cell, so their outputs are bitwise identical — particles,
+// movers, accumulators and counters — for any buffer, sorted or not
+// (see the lane-equivalence property tests). The lane kernel wins by
+// amortizing address generation over 8 lanes, eliminating the
+// per-particle run-detection and crosser branches, and letting the
+// out-of-order core overlap the 8 independent rsqrt/divide chains of a
+// block — worth ~10% over the scalar shape under gc, which emits no
+// SIMD; the layout exists so a vectorizing backend can take the rest
+// (EXPERIMENTS.md P3).
 //
 // The kernel exposes two execution styles. AdvanceP is the serial path:
 // one sweep over the buffer depositing into the kernel's accumulator.
 // AdvanceBlock/FinishBlocks is the pipelined path mirroring the paper's
-// SPE decomposition: contiguous particle blocks are pushed concurrently,
+// SPE decomposition: contiguous particle ranges are pushed concurrently,
 // each scattering into a private accumulator and recording (not
 // finishing) its face-crossing particles; FinishBlocks then completes
 // every recorded mover serially in globally descending index order —
 // the exact order the serial path uses — so the particle state it
-// produces is bitwise identical to AdvanceP for any worker count.
+// produces is bitwise identical to AdvanceP for any worker count. (The
+// ELost energy tally alone is a float64 sum of per-block partial sums,
+// so it matches the serial chain to rounding, not bitwise.)
 package push
 
 import (
@@ -45,7 +72,7 @@ import (
 )
 
 // Flop accounting for the optimized kernel (see advance loop; counts
-// audited against the code):
+// audited against the code — identical for the scalar and lane shapes):
 //
 //	E interpolation             3 × (3 mul + 3 add + 1 mul)  = 21
 //	cB interpolation            3 × (1 mul + 1 add)          =  6
@@ -74,17 +101,24 @@ const (
 
 // Data-motion model of the particle step (minimum cache traffic; the
 // "PIC moves more data per flop" argument of the paper, made concrete).
-// The fused sweep amortizes interpolator and accumulator traffic over
-// voxel runs, so its bytes are counted per run, not per particle:
+// Under the AoSoA layout particle state streams at block granularity:
+// a sweep over a lane-aligned range moves whole 256-byte blocks, which
+// is the same 32 B read + 32 B write per particle as the old AoS records
+// whenever blocks are full — a partially filled tail block still moves
+// all particle.BlockBytes, a ≤ (Lanes−1)/n relative overhead that the
+// model ignores. The fused sweep amortizes interpolator and accumulator
+// traffic over voxel runs, so those bytes are counted per run, not per
+// particle:
 const (
 	// BytesPerPush is the per-particle data motion of the UNFUSED fast
 	// path: a 32-byte particle read + write, one 72-byte interpolator
 	// read and a 48-byte accumulator read-modify-write per particle.
 	// Kept as the pre-fusion baseline of the memory-traffic model.
-	BytesPerPush = 32 + 32 + 72 + 2*accum.CellBytes
+	BytesPerPush = particle.ParticleBytes + particle.ParticleBytes + 72 + 2*accum.CellBytes
 	// BytesPerParticle is the irreducible per-particle traffic of the
-	// fused sweep: the 32-byte particle read and write.
-	BytesPerParticle = 32 + 32
+	// fused sweep: the 32-byte particle read and write (8 lanes of a
+	// 256-byte block amortize to the same figure).
+	BytesPerParticle = particle.ParticleBytes + particle.ParticleBytes
 	// BytesPerRun is the per-voxel-run traffic of the fused sweep: one
 	// 72-byte interpolator load plus one accumulator cell load and store.
 	// A sorted buffer with ppc particles per cell pays this once per ppc
@@ -117,7 +151,9 @@ const (
 
 // Outgoing is a particle mid-move that crossed a Migrate face. Voxel
 // still holds the sender's boundary cell; the receiving rank remaps it
-// to its own entry cell and finishes the move.
+// to its own entry cell and finishes the move. The particle travels in
+// gathered AoS form — the AoSoA block layout is a local storage choice
+// and never appears on the wire.
 type Outgoing struct {
 	P                   particle.Particle
 	DispX, DispY, DispZ float32
@@ -162,6 +198,11 @@ type Kernel struct {
 	IP  *interp.Table
 	Acc *accum.Array
 
+	// Lanes selects the sweep shape: particle.Lanes (the default) runs
+	// the wide-lane block kernel, 1 the scalar oracle. Both produce
+	// bitwise-identical results; see the package comment.
+	Lanes int
+
 	// Per-face boundary actions, indexed like field.Face
 	// (XLo,XHi,YLo,YHi,ZLo,ZHi).
 	Bound [6]Action
@@ -193,10 +234,12 @@ type Kernel struct {
 }
 
 // NewKernel builds a push kernel. q and m are the species charge and
-// mass in units of e and me; dt is the time step in code units.
+// mass in units of e and me; dt is the time step in code units. The
+// sweep shape defaults to the wide-lane kernel (Lanes = particle.Lanes).
 func NewKernel(g *grid.Grid, ip *interp.Table, acc *accum.Array, q, m, dt float64) *Kernel {
 	return &Kernel{
 		G: g, IP: ip, Acc: acc,
+		Lanes:  particle.Lanes,
 		qdt2mc: float32(q / m * dt / 2),
 		q:      float32(q),
 		mass:   m,
@@ -280,7 +323,7 @@ func (k *Kernel) ClearOutgoing() {
 func (k *Kernel) AdvanceP(buf *particle.Buffer) {
 	bs := &k.serial
 	bs.Reset()
-	k.advanceRange(buf, 0, buf.N(), k.Acc, bs)
+	k.advance(buf, 0, buf.N(), k.Acc, bs)
 	bs.NMoved += int64(len(bs.Movers))
 
 	// Finish boundary-crossing particles in descending index order so
@@ -296,11 +339,21 @@ func (k *Kernel) AdvanceP(buf *particle.Buffer) {
 // scattering in-cell current into acc and recording (not finishing)
 // face-crossing particles in bs.Movers. It never reorders the buffer,
 // reads only shared immutable state (interpolators, grid), and writes
-// only p[lo:hi], acc and bs, so disjoint blocks with private acc/bs are
-// safe to run concurrently. Call FinishBlocks afterwards to complete
-// the recorded movers.
+// only lanes lo..hi-1, acc and bs, so disjoint ranges with private
+// acc/bs are safe to run concurrently (lanes are distinct words even
+// when two ranges share a particle.Block). Call FinishBlocks afterwards
+// to complete the recorded movers.
 func (k *Kernel) AdvanceBlock(buf *particle.Buffer, lo, hi int, acc *accum.Array, bs *BlockState) {
-	k.advanceRange(buf, lo, hi, acc, bs)
+	k.advance(buf, lo, hi, acc, bs)
+}
+
+// advance dispatches one range sweep to the selected kernel shape.
+func (k *Kernel) advance(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
+	if k.Lanes > 1 {
+		k.advanceRangeLanes(buf, lo, hi, a, bs)
+	} else {
+		k.advanceRange(buf, lo, hi, a, bs)
+	}
 }
 
 // FinishBlocks completes the movers recorded by AdvanceBlock: blocks
@@ -326,10 +379,10 @@ func (k *Kernel) FinishBlocks(buf *particle.Buffer, blocks []*BlockState, accs [
 	}
 }
 
-// advanceRange is the momentum-update + in-cell-deposition sweep over
-// p[lo:hi], shared by the serial and pipelined paths. Face-crossing
-// particles are appended to bs.Movers (in ascending index order) for
-// the caller to finish.
+// advanceRange is the scalar (lanes=1) momentum-update + in-cell-
+// deposition sweep over particles [lo, hi), the oracle for the lane
+// kernel below. Face-crossing particles are appended to bs.Movers (in
+// ascending index order) for the caller to finish.
 //
 // The sweep is fused over voxel runs: for each maximal group of
 // consecutive particles sharing a voxel it loads the 72-byte
@@ -341,7 +394,7 @@ func (k *Kernel) FinishBlocks(buf *particle.Buffer, blocks []*BlockState, accs [
 // identical to AdvancePUnfused for any particle order — sorted buffers
 // merely make the runs long enough to pay off.
 func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
-	p := buf.P
+	blk := buf.Blk
 	ip := k.IP.C
 	ac := a.A
 	qdt2mc := k.qdt2mc
@@ -353,14 +406,15 @@ func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a *accum.Array, 
 	var rc accum.Cell    // register-resident accumulator of the run's cell
 
 	for i := lo; i < hi; i++ {
-		pt := &p[i]
-		dx, dy, dz := pt.Dx, pt.Dy, pt.Dz
-		if pt.Voxel != runV {
+		b := &blk[i>>particle.LaneShift]
+		l := i & particle.LaneMask
+		dx, dy, dz := b.Dx[l], b.Dy[l], b.Dz[l]
+		if b.Voxel[l] != runV {
 			if runV >= 0 {
 				ac[runV] = rc
 				a.Touch(int(runV))
 			}
-			runV = pt.Voxel
+			runV = b.Voxel[l]
 			cc = ip[runV]
 			rc = ac[runV]
 			bs.NRuns++
@@ -370,9 +424,9 @@ func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a *accum.Array, 
 		hax := qdt2mc * (cc.Ex0 + dy*cc.DExDy + dz*(cc.DExDz+dy*cc.D2ExDyDz))
 		hay := qdt2mc * (cc.Ey0 + dz*cc.DEyDz + dx*(cc.DEyDx+dz*cc.D2EyDzDx))
 		haz := qdt2mc * (cc.Ez0 + dx*cc.DEzDx + dy*(cc.DEzDy+dx*cc.D2EzDxDy))
-		ux := pt.Ux + hax
-		uy := pt.Uy + hay
-		uz := pt.Uz + haz
+		ux := b.Ux[l] + hax
+		uy := b.Uy[l] + hay
+		uz := b.Uz[l] + haz
 
 		// Interpolate cB (6 flops).
 		cbx := cc.CBx0 + dx*cc.DCBxDx
@@ -396,7 +450,7 @@ func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a *accum.Array, 
 		ux += hax
 		uy += hay
 		uz += haz
-		pt.Ux, pt.Uy, pt.Uz = ux, uy, uz
+		b.Ux[l], b.Uy[l], b.Uz[l] = ux, uy, uz
 		gi = rsqrt(1 + (ux*ux + uy*uy + uz*uz))
 
 		// Displacement in offset units (6).
@@ -411,14 +465,258 @@ func (k *Kernel) advanceRange(buf *particle.Buffer, lo, hi int, a *accum.Array, 
 			// In-cell fast path: scatter the whole-step current (67) into
 			// the run's register cell and store the new offsets (3,
 			// counted in the displacement sum).
-			k.scatterCell(&rc, pt.W, dx, dy, dz, ddx, ddy, ddz)
-			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
+			k.scatterCell(&rc, b.W[l], dx, dy, dz, ddx, ddy, ddz)
+			b.Dx[l], b.Dy[l], b.Dz[l] = nx, ny, nz
 			continue
 		}
 		bs.Movers = append(bs.Movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
 	}
 	if runV >= 0 {
 		ac[runV] = rc
+		a.Touch(int(runV))
+	}
+}
+
+// oneBits is math.Float32bits(1.0); for finite floats |x| > 1 exactly
+// when the sign-cleared bit pattern exceeds it, and NaN patterns always
+// do — matching the scalar path, which also sends NaN offsets to moveP
+// (where the absorb backstop removes them).
+const oneBits = 0x3f800000
+
+// advanceRangeLanes is the wide-lane sweep over particles [lo, hi): one
+// particle.Block per outer iteration, decomposed into voxel spans
+// (sorted buffers make most blocks a single 8-lane span of one voxel).
+// For each span the momentum update runs as a straight-line lane loop
+// with no branches — the in-cell test is folded into an integer crosser
+// bitmask — and a second lane loop scatters the in-cell lanes into the
+// run's register-resident accumulator cell in ascending lane order,
+// which is exactly the scalar sweep's accumulation chain. Lanes flagged
+// in the bitmask keep their pre-step offsets and are recorded as movers
+// for the caller, again in ascending index order. Every floating-point
+// operation, its operands and its order match advanceRange per particle,
+// so the two sweeps are bitwise identical; see the package comment.
+func (k *Kernel) advanceRangeLanes(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
+	blk := buf.Blk
+	ip := k.IP.C
+	ac := a.A
+	qdt2mc := k.qdt2mc
+	q := k.q
+	cdx, cdy, cdz := k.cdtdx2, k.cdtdy2, k.cdtdz2
+	bs.NPushed += int64(hi - lo)
+
+	runV := int32(-1)    // voxel of the current run (-1: none yet)
+	var cc interp.Coeffs // hoisted interpolator of the run's cell
+
+	// The run's accumulator cell, held in twelve named scalars rather
+	// than an accum.Cell so nothing takes their address: the scatter is
+	// hand-inlined below (the scalar path's scatterCell call forces its
+	// register cell back to the stack at every call site), letting the
+	// compiler keep the run's current sums in registers for the whole
+	// run. The adds execute in the identical per-particle, per-slot
+	// order as scatterCell, so the chains — and the results — are still
+	// bitwise those of the scalar sweep.
+	// (A helper closure would capture these by reference and force them
+	// addressable — so the two flush sites below are spelled out.)
+	var jx0, jx1, jx2, jx3 float32
+	var jy0, jy1, jy2, jy3 float32
+	var jz0, jz1, jz2, jz3 float32
+
+	// Per-block lane state handed between the staged lane loops:
+	// half-kick fields and interpolated cB from the gather stage,
+	// displacements and tentative offsets from the momentum stage.
+	// Fixed-size arrays keep every lane access bounds-check free.
+	var haxA, hayA, hazA [particle.Lanes]float32
+	var cbxA, cbyA, cbzA [particle.Lanes]float32
+	var ddxA, ddyA, ddzA [particle.Lanes]float32
+
+	for i := lo; i < hi; {
+		base := i &^ particle.LaneMask
+		l0 := i - base
+		l1 := particle.Lanes
+		if base+l1 > hi {
+			l1 = hi - base
+		}
+		if l1 > particle.Lanes {
+			l1 = particle.Lanes // unreachable; lets the prover bound the lane loops
+		}
+		b := &blk[base>>particle.LaneShift]
+
+		for s0 := l0; s0 < l1; {
+			// Extend the voxel span [s0, s1) within the block.
+			v := b.Voxel[s0]
+			s1 := s0 + 1
+			for s1 < l1 && b.Voxel[s1] == v {
+				s1++
+			}
+			if s1 > particle.Lanes {
+				s1 = particle.Lanes // unreachable; bounds the lane loops for BCE
+			}
+			if v != runV {
+				if runV >= 0 {
+					c := &ac[runV]
+					c.JX[0], c.JX[1], c.JX[2], c.JX[3] = jx0, jx1, jx2, jx3
+					c.JY[0], c.JY[1], c.JY[2], c.JY[3] = jy0, jy1, jy2, jy3
+					c.JZ[0], c.JZ[1], c.JZ[2], c.JZ[3] = jz0, jz1, jz2, jz3
+					a.Touch(int(runV))
+				}
+				runV = v
+				cc = ip[v]
+				c := &ac[v]
+				jx0, jx1, jx2, jx3 = c.JX[0], c.JX[1], c.JX[2], c.JX[3]
+				jy0, jy1, jy2, jy3 = c.JY[0], c.JY[1], c.JY[2], c.JY[3]
+				jz0, jz1, jz2, jz3 = c.JZ[0], c.JZ[1], c.JZ[2], c.JZ[3]
+				bs.NRuns++
+			}
+
+			// Lane loop 1a: field gather — interpolate E and cB at every
+			// lane's offsets. Pure multiply-add work with no divides and
+			// no block writes, so it streams at full FP throughput.
+			for l := s0; l < s1; l++ {
+				dx, dy, dz := b.Dx[l], b.Dy[l], b.Dz[l]
+
+				haxA[l] = qdt2mc * (cc.Ex0 + dy*cc.DExDy + dz*(cc.DExDz+dy*cc.D2ExDyDz))
+				hayA[l] = qdt2mc * (cc.Ey0 + dz*cc.DEyDz + dx*(cc.DEyDx+dz*cc.D2EyDzDx))
+				hazA[l] = qdt2mc * (cc.Ez0 + dx*cc.DEzDx + dy*(cc.DEzDy+dx*cc.D2EzDxDy))
+
+				cbxA[l] = cc.CBx0 + dx*cc.DCBxDx
+				cbyA[l] = cc.CBy0 + dy*cc.DCByDy
+				cbzA[l] = cc.CBz0 + dz*cc.DCBzDz
+			}
+
+			// Lane loop 1b: both half kicks and the Boris rotation. This
+			// is the divide/sqrt-heavy stage; its body is kept minimal so
+			// several lanes' rsqrt chains are in flight in the
+			// out-of-order core at once instead of one long per-particle
+			// dependency chain.
+			for l := s0; l < s1; l++ {
+				hax, hay, haz := haxA[l], hayA[l], hazA[l]
+				ux := b.Ux[l] + hax
+				uy := b.Uy[l] + hay
+				uz := b.Uz[l] + haz
+
+				gi := rsqrt(1 + (ux*ux + uy*uy + uz*uz))
+				f0 := qdt2mc * gi
+				tx, ty, tz := f0*cbxA[l], f0*cbyA[l], f0*cbzA[l]
+				t2 := tx*tx + ty*ty + tz*tz
+				s := 2 / (1 + t2)
+				wx := ux + (uy*tz - uz*ty)
+				wy := uy + (uz*tx - ux*tz)
+				wz := uz + (ux*ty - uy*tx)
+				ux += s * (wy*tz - wz*ty)
+				uy += s * (wz*tx - wx*tz)
+				uz += s * (wx*ty - wy*tx)
+
+				b.Ux[l] = ux + hax
+				b.Uy[l] = uy + hay
+				b.Uz[l] = uz + haz
+			}
+
+			// Lane loop 1c: final 1/γ, displacement and the crosser mask.
+			// Reloading the just-stored momenta from the block is an L1
+			// hit; what it buys is a second window of independent rsqrt
+			// chains.
+			var cross uint32
+			for l := s0; l < s1; l++ {
+				ux, uy, uz := b.Ux[l], b.Uy[l], b.Uz[l]
+				gi := rsqrt(1 + (ux*ux + uy*uy + uz*uz))
+
+				ddx := ux * gi * cdx
+				ddy := uy * gi * cdy
+				ddz := uz * gi * cdz
+				nx := b.Dx[l] + ddx
+				ny := b.Dy[l] + ddy
+				nz := b.Dz[l] + ddz
+				ddxA[l], ddyA[l], ddzA[l] = ddx, ddy, ddz
+
+				// Crosser test without compare-and-branch: |x| > 1 iff the
+				// sign-cleared bit pattern exceeds oneBits, detected via
+				// unsigned-subtraction wraparound (NaN included, matching
+				// the scalar path's negated in-cell test).
+				ax := math.Float32bits(nx) &^ (1 << 31)
+				ay := math.Float32bits(ny) &^ (1 << 31)
+				az := math.Float32bits(nz) &^ (1 << 31)
+				out := ((oneBits - ax) | (oneBits - ay) | (oneBits - az)) >> 31
+				cross |= out << uint(l)
+			}
+
+			// Lane loop 2: in-cell scatter in ascending lane order — the
+			// scalar accumulation chain, hand-inlined from scatterCell so
+			// the run sums never leave registers. The no-crosser case is
+			// the hot path and stays branch-free inside the loop; a span
+			// with crossers takes the per-lane masked variant below.
+			if cross == 0 {
+				for l := s0; l < s1; l++ {
+					dx, dy, dz := b.Dx[l], b.Dy[l], b.Dz[l]
+					qw := q * b.W[l]
+					hx, hy, hz := 0.5*ddxA[l], 0.5*ddyA[l], 0.5*ddzA[l]
+					mx, my, mz := dx+hx, dy+hy, dz+hz
+					v5 := qw * hx * hy * hz * (1.0 / 3.0)
+
+					qh := qw * hx
+					jx0 += qh*(1-my)*(1-mz) + v5
+					jx1 += qh*(1+my)*(1-mz) - v5
+					jx2 += qh*(1-my)*(1+mz) - v5
+					jx3 += qh*(1+my)*(1+mz) + v5
+
+					qh = qw * hy
+					jy0 += qh*(1-mz)*(1-mx) + v5
+					jy1 += qh*(1+mz)*(1-mx) - v5
+					jy2 += qh*(1-mz)*(1+mx) - v5
+					jy3 += qh*(1+mz)*(1+mx) + v5
+
+					qh = qw * hz
+					jz0 += qh*(1-mx)*(1-my) + v5
+					jz1 += qh*(1+mx)*(1-my) - v5
+					jz2 += qh*(1-mx)*(1+my) - v5
+					jz3 += qh*(1+mx)*(1+my) + v5
+
+					b.Dx[l], b.Dy[l], b.Dz[l] = dx+ddxA[l], dy+ddyA[l], dz+ddzA[l]
+				}
+				s0 = s1
+				continue
+			}
+			for l := s0; l < s1; l++ {
+				if cross&(1<<uint(l)) != 0 {
+					bs.Movers = append(bs.Movers, particle.Mover{
+						DispX: ddxA[l], DispY: ddyA[l], DispZ: ddzA[l], Idx: int32(base + l),
+					})
+					continue
+				}
+				dx, dy, dz := b.Dx[l], b.Dy[l], b.Dz[l]
+				qw := q * b.W[l]
+				hx, hy, hz := 0.5*ddxA[l], 0.5*ddyA[l], 0.5*ddzA[l]
+				mx, my, mz := dx+hx, dy+hy, dz+hz
+				v5 := qw * hx * hy * hz * (1.0 / 3.0)
+
+				qh := qw * hx
+				jx0 += qh*(1-my)*(1-mz) + v5
+				jx1 += qh*(1+my)*(1-mz) - v5
+				jx2 += qh*(1-my)*(1+mz) - v5
+				jx3 += qh*(1+my)*(1+mz) + v5
+
+				qh = qw * hy
+				jy0 += qh*(1-mz)*(1-mx) + v5
+				jy1 += qh*(1+mz)*(1-mx) - v5
+				jy2 += qh*(1-mz)*(1+mx) - v5
+				jy3 += qh*(1+mz)*(1+mx) + v5
+
+				qh = qw * hz
+				jz0 += qh*(1-mx)*(1-my) + v5
+				jz1 += qh*(1+mx)*(1-my) - v5
+				jz2 += qh*(1-mx)*(1+my) - v5
+				jz3 += qh*(1+mx)*(1+my) + v5
+
+				b.Dx[l], b.Dy[l], b.Dz[l] = dx+ddxA[l], dy+ddyA[l], dz+ddzA[l]
+			}
+			s0 = s1
+		}
+		i = base + l1
+	}
+	if runV >= 0 {
+		c := &ac[runV]
+		c.JX[0], c.JX[1], c.JX[2], c.JX[3] = jx0, jx1, jx2, jx3
+		c.JY[0], c.JY[1], c.JY[2], c.JY[3] = jy0, jy1, jy2, jy3
+		c.JZ[0], c.JZ[1], c.JZ[2], c.JZ[3] = jz0, jz1, jz2, jz3
 		a.Touch(int(runV))
 	}
 }
@@ -461,14 +759,15 @@ func (k *Kernel) scatterCell(c *accum.Cell, w, dx, dy, dz, ddx, ddy, ddz float32
 // moveP finishes a boundary-crossing particle: it splits the remaining
 // displacement at each cell face, deposits per-segment current into a,
 // and applies the face action when the particle leaves the local
-// interior. The particle at index i may be removed from buf
-// (Absorb/Migrate). Statistics land in bs.
+// interior. The particle is gathered from its lane into a register copy
+// for the segment walk and scattered back at the end; it may instead be
+// removed from buf (Absorb/Migrate). Statistics land in bs.
 func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, a *accum.Array, bs *BlockState) {
 	g := k.G
 	sx, sy, _ := g.Strides()
 	strides := [3]int{1, sx, sx * sy}
 	n := [3]int{g.NX, g.NY, g.NZ}
-	pt := &buf.P[i]
+	pt := buf.At(i)
 
 	for seg := 0; seg < k.maxSeg; seg++ {
 		bs.NSeg++
@@ -496,11 +795,12 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, a *ac
 		ddz -= segz
 
 		if axis < 0 {
+			buf.Set(i, pt)
 			return // whole displacement consumed inside the cell
 		}
 
 		// Snap exactly onto the crossed face and act on it.
-		setOffset(pt, axis, float32(dir))
+		setOffset(&pt, axis, float32(dir))
 		ix, iy, iz := g.Unvoxel(int(pt.Voxel))
 		coord := [3]int{ix, iy, iz}
 		next := coord[axis] + dir
@@ -510,15 +810,15 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, a *ac
 		case next >= 1 && next <= n[axis]:
 			// Interior crossing: enter the neighbor cell from its far side.
 			pt.Voxel += int32(dir * strides[axis])
-			setOffset(pt, axis, float32(-dir))
+			setOffset(&pt, axis, float32(-dir))
 		default:
 			face := 2*axis + (dir+1)/2
 			switch k.Bound[face] {
 			case Wrap:
 				pt.Voxel += int32(-dir * (n[axis] - 1) * strides[axis])
-				setOffset(pt, axis, float32(-dir))
+				setOffset(&pt, axis, float32(-dir))
 			case Reflect:
-				flipU(pt, axis)
+				flipU(&pt, axis)
 				rem[axis] = -rem[axis]
 			case refluxAction:
 				// Thermal wall: re-emit at the wall with flux-weighted
@@ -527,14 +827,14 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, a *ac
 				rem = [3]float32{}
 			case Absorb:
 				bs.NLost++
-				bs.ELost += k.kinetic(pt)
+				bs.ELost += k.kinetic(&pt)
 				buf.RemoveSwap(i)
 				return
 			case Migrate:
 				// Hand the particle over already flipped onto the entering
 				// side; the receiver only remaps Voxel.
-				setOffset(pt, axis, float32(-dir))
-				out := Outgoing{P: *pt, DispX: rem[0], DispY: rem[1], DispZ: rem[2]}
+				setOffset(&pt, axis, float32(-dir))
+				out := Outgoing{P: pt, DispX: rem[0], DispY: rem[1], DispZ: rem[2]}
 				k.Out[face] = append(k.Out[face], out)
 				buf.RemoveSwap(i)
 				return
@@ -542,13 +842,14 @@ func (k *Kernel) moveP(buf *particle.Buffer, i int, ddx, ddy, ddz float32, a *ac
 		}
 		ddx, ddy, ddz = rem[0], rem[1], rem[2]
 		if ddx == 0 && ddy == 0 && ddz == 0 {
+			buf.Set(i, pt)
 			return
 		}
 	}
 	// A particle needing more than maxSeg segments indicates dt far above
 	// CFL or corrupted state; absorb it rather than corrupt memory.
 	bs.NLost++
-	bs.ELost += k.kinetic(pt)
+	bs.ELost += k.kinetic(&pt)
 	buf.RemoveSwap(i)
 }
 
@@ -620,6 +921,12 @@ func flipU(p *particle.Particle, axis int) {
 	}
 }
 
+// rsqrt is 1/√x with the square root rounded to float32 before the
+// divide: the compiler recognizes float32(math.Sqrt(float64(x))) and
+// emits a single-precision hardware sqrt, so the whole thing is one
+// SQRTSS + DIVSS — roughly half the divider latency and throughput cost
+// of the double-precision pair. Every kernel shape shares this helper,
+// so they stay bitwise identical to each other.
 func rsqrt(x float32) float32 {
-	return float32(1 / math.Sqrt(float64(x)))
+	return 1 / float32(math.Sqrt(float64(x)))
 }

@@ -140,7 +140,7 @@ func TestUniformEAcceleration(t *testing.T) {
 		k.AdvanceP(r.buf)
 	}
 	// du/dt = (q/m)E: after 100 steps ux = -1·0.001·0.1·100 = -0.01.
-	got := float64(r.buf.P[0].Ux)
+	got := float64(r.buf.At(0).Ux)
 	want := -0.01
 	if math.Abs(got-want) > 1e-4*math.Abs(want)+1e-7 {
 		t.Fatalf("ux after uniform E = %g, want %g", got, want)
@@ -167,7 +167,7 @@ func TestGyroOrbit(t *testing.T) {
 		r.acc.Clear()
 		k.AdvanceP(r.buf)
 	}
-	p := r.buf.P[0]
+	p := r.buf.At(0)
 	// |u| is exactly conserved by the rotation (to float32 rounding).
 	uMag := math.Sqrt(float64(p.Ux)*float64(p.Ux) + float64(p.Uy)*float64(p.Uy) + float64(p.Uz)*float64(p.Uz))
 	if math.Abs(uMag-u0) > 1e-5 {
@@ -338,8 +338,8 @@ func TestOptimizedMatchesReference(t *testing.T) {
 	if a.buf.N() != b.buf.N() {
 		t.Fatalf("particle counts diverged: %d vs %d", a.buf.N(), b.buf.N())
 	}
-	for i := range a.buf.P {
-		pa, pb := a.buf.P[i], b.buf.P[i]
+	for i := 0; i < a.buf.N(); i++ {
+		pa, pb := a.buf.At(i), b.buf.At(i)
 		if pa.Voxel != pb.Voxel {
 			t.Fatalf("particle %d voxel %d vs %d", i, pa.Voxel, pb.Voxel)
 		}
@@ -360,7 +360,7 @@ func TestWrapCrossing(t *testing.T) {
 	r.buf.Append(particle.Particle{Dx: 0.9, Voxel: int32(r.g.Voxel(4, 2, 2)), Ux: u, W: 1})
 	r.acc.Clear()
 	k.AdvanceP(r.buf)
-	p := r.buf.P[0]
+	p := r.buf.At(0)
 	ix, iy, iz := r.g.Unvoxel(int(p.Voxel))
 	if ix != 1 || iy != 2 || iz != 2 {
 		t.Fatalf("wrapped particle in cell (%d,%d,%d), want (1,2,2)", ix, iy, iz)
@@ -384,7 +384,7 @@ func TestReflectBoundary(t *testing.T) {
 	r.buf.Append(particle.Particle{Dx: 0.9, Voxel: int32(r.g.Voxel(4, 2, 2)), Ux: 10, W: 1})
 	r.acc.Clear()
 	k.AdvanceP(r.buf)
-	p := r.buf.P[0]
+	p := r.buf.At(0)
 	ix, _, _ := r.g.Unvoxel(int(p.Voxel))
 	if ix != 4 {
 		t.Fatalf("reflected particle left cell 4 (now %d)", ix)
@@ -447,7 +447,7 @@ func TestMigrateBoundary(t *testing.T) {
 	if buf2.N() != 1 {
 		t.Fatalf("FinishMove did not land the particle")
 	}
-	p := buf2.P[0]
+	p := buf2.At(0)
 	ix, iy, _ := r.g.Unvoxel(int(p.Voxel))
 	if ix != 1 || iy != 3 {
 		t.Fatalf("migrated particle at cell (%d,%d), want (1,3)", ix, iy)
@@ -463,7 +463,7 @@ func TestCornerCrossing(t *testing.T) {
 	r.buf.Append(particle.Particle{Dx: 0.95, Dy: 0.95, Voxel: int32(r.g.Voxel(2, 2, 2)), Ux: 10, Uy: 10, W: 1})
 	r.acc.Clear()
 	k.AdvanceP(r.buf)
-	p := r.buf.P[0]
+	p := r.buf.At(0)
 	ix, iy, iz := r.g.Unvoxel(int(p.Voxel))
 	if ix != 3 || iy != 3 || iz != 2 {
 		t.Fatalf("corner crossing landed at (%d,%d,%d), want (3,3,2)", ix, iy, iz)

@@ -20,13 +20,13 @@ func (k *Kernel) AdvancePRef(buf *particle.Buffer, f *field.Fields) {
 	sx, sy, _ := g.Strides()
 	sxy := sx * sy
 	qdt2mc := float64(k.qdt2mc)
-	p := buf.P
+	n := buf.N()
 	bs := &k.serial
 	bs.Reset()
-	bs.NPushed += int64(len(p))
+	bs.NPushed += int64(n)
 
-	for i := range p {
-		pt := &p[i]
+	for i := 0; i < n; i++ {
+		pt := buf.At(i)
 		v := int(pt.Voxel)
 		dx, dy, dz := float64(pt.Dx), float64(pt.Dy), float64(pt.Dz)
 
@@ -67,8 +67,10 @@ func (k *Kernel) AdvancePRef(buf *particle.Buffer, f *field.Fields) {
 		if nx <= 1 && nx >= -1 && ny <= 1 && ny >= -1 && nz <= 1 && nz >= -1 {
 			k.scatter(k.Acc, v, pt.W, pt.Dx, pt.Dy, pt.Dz, ddx, ddy, ddz)
 			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
+			buf.Set(i, pt)
 			continue
 		}
+		buf.Set(i, pt) // momentum is updated even for crossers
 		bs.Movers = append(bs.Movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})
 	}
 	bs.NMoved += int64(len(bs.Movers))

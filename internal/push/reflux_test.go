@@ -19,7 +19,7 @@ func TestRefluxKeepsParticleInBox(t *testing.T) {
 	if r.buf.N() != 1 {
 		t.Fatalf("particle lost at reflux wall")
 	}
-	p := r.buf.P[0]
+	p := r.buf.At(0)
 	ix, _, _ := r.g.Unvoxel(int(p.Voxel))
 	if ix != 4 {
 		t.Fatalf("refluxed particle left cell 4 (now %d)", ix)

@@ -20,20 +20,22 @@ func DepositRho(g *grid.Grid, buf *particle.Buffer, q float64, rho []float32) {
 	sx, sy, _ := g.Strides()
 	sxy := sx * sy
 	c := float32(q / (8 * g.Volume()))
-	for i := range buf.P {
-		p := &buf.P[i]
-		v := int(p.Voxel)
-		qw := c * p.W
-		lx, hx := 1-p.Dx, 1+p.Dx
-		ly, hy := 1-p.Dy, 1+p.Dy
-		lz, hz := 1-p.Dz, 1+p.Dz
-		rho[v] += qw * lx * ly * lz
-		rho[v+1] += qw * hx * ly * lz
-		rho[v+sx] += qw * lx * hy * lz
-		rho[v+sx+1] += qw * hx * hy * lz
-		rho[v+sxy] += qw * lx * ly * hz
-		rho[v+sxy+1] += qw * hx * ly * hz
-		rho[v+sxy+sx] += qw * lx * hy * hz
-		rho[v+sxy+sx+1] += qw * hx * hy * hz
+	for bi := range buf.Blk {
+		blk := &buf.Blk[bi]
+		for l := 0; l < buf.LaneCount(bi); l++ {
+			v := int(blk.Voxel[l])
+			qw := c * blk.W[l]
+			lx, hx := 1-blk.Dx[l], 1+blk.Dx[l]
+			ly, hy := 1-blk.Dy[l], 1+blk.Dy[l]
+			lz, hz := 1-blk.Dz[l], 1+blk.Dz[l]
+			rho[v] += qw * lx * ly * lz
+			rho[v+1] += qw * hx * ly * lz
+			rho[v+sx] += qw * lx * hy * lz
+			rho[v+sx+1] += qw * hx * hy * lz
+			rho[v+sxy] += qw * lx * ly * hz
+			rho[v+sxy+1] += qw * hx * ly * hz
+			rho[v+sxy+sx] += qw * lx * hy * hz
+			rho[v+sxy+sx+1] += qw * hx * hy * hz
+		}
 	}
 }

@@ -11,8 +11,9 @@ import (
 // read-modify-writes its accumulator cell, exactly as advanceRange did
 // before runs were introduced. The arithmetic is identical to AdvanceP
 // term by term, so for any buffer — sorted or not — the two must agree
-// bitwise on particles, movers, accumulators and counters (see the
-// fused-equivalence property tests).
+// bitwise on particles, movers, accumulators and counters, whichever
+// lane shape AdvanceP runs (see the fused- and lane-equivalence
+// property tests).
 func (k *Kernel) AdvancePUnfused(buf *particle.Buffer) {
 	bs := &k.serial
 	bs.Reset()
@@ -30,7 +31,7 @@ func (k *Kernel) AdvancePUnfused(buf *particle.Buffer) {
 // counts one "run" per particle, matching its actual data motion under
 // the package traffic model.
 func (k *Kernel) advanceRangeUnfused(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
-	p := buf.P
+	blk := buf.Blk
 	ip := k.IP.C
 	qdt2mc := k.qdt2mc
 	cdx, cdy, cdz := k.cdtdx2, k.cdtdy2, k.cdtdz2
@@ -38,16 +39,17 @@ func (k *Kernel) advanceRangeUnfused(buf *particle.Buffer, lo, hi int, a *accum.
 	bs.NRuns += int64(hi - lo)
 
 	for i := lo; i < hi; i++ {
-		pt := &p[i]
-		dx, dy, dz := pt.Dx, pt.Dy, pt.Dz
-		cc := &ip[pt.Voxel]
+		b := &blk[i>>particle.LaneShift]
+		l := i & particle.LaneMask
+		dx, dy, dz := b.Dx[l], b.Dy[l], b.Dz[l]
+		cc := &ip[b.Voxel[l]]
 
 		hax := qdt2mc * (cc.Ex0 + dy*cc.DExDy + dz*(cc.DExDz+dy*cc.D2ExDyDz))
 		hay := qdt2mc * (cc.Ey0 + dz*cc.DEyDz + dx*(cc.DEyDx+dz*cc.D2EyDzDx))
 		haz := qdt2mc * (cc.Ez0 + dx*cc.DEzDx + dy*(cc.DEzDy+dx*cc.D2EzDxDy))
-		ux := pt.Ux + hax
-		uy := pt.Uy + hay
-		uz := pt.Uz + haz
+		ux := b.Ux[l] + hax
+		uy := b.Uy[l] + hay
+		uz := b.Uz[l] + haz
 
 		cbx := cc.CBx0 + dx*cc.DCBxDx
 		cby := cc.CBy0 + dy*cc.DCByDy
@@ -68,7 +70,7 @@ func (k *Kernel) advanceRangeUnfused(buf *particle.Buffer, lo, hi int, a *accum.
 		ux += hax
 		uy += hay
 		uz += haz
-		pt.Ux, pt.Uy, pt.Uz = ux, uy, uz
+		b.Ux[l], b.Uy[l], b.Uz[l] = ux, uy, uz
 		gi = rsqrt(1 + (ux*ux + uy*uy + uz*uz))
 
 		ddx := ux * gi * cdx
@@ -79,8 +81,8 @@ func (k *Kernel) advanceRangeUnfused(buf *particle.Buffer, lo, hi int, a *accum.
 		nz := dz + ddz
 
 		if nx <= 1 && nx >= -1 && ny <= 1 && ny >= -1 && nz <= 1 && nz >= -1 {
-			k.scatter(a, int(pt.Voxel), pt.W, dx, dy, dz, ddx, ddy, ddz)
-			pt.Dx, pt.Dy, pt.Dz = nx, ny, nz
+			k.scatter(a, int(b.Voxel[l]), b.W[l], dx, dy, dz, ddx, ddy, ddz)
+			b.Dx[l], b.Dy[l], b.Dz[l] = nx, ny, nz
 			continue
 		}
 		bs.Movers = append(bs.Movers, particle.Mover{DispX: ddx, DispY: ddy, DispZ: ddz, Idx: int32(i)})

@@ -4,9 +4,10 @@
 // accumulator reads that cache (and on Roadrunner, SPE local-store DMA)
 // efficiency depends on. The out-of-place pass is stable, preserving
 // intra-cell ordering. The sort is zero-copy: the scatter pass lands in
-// the workspace scratch, which is then swapped into the particle buffer
-// (particle.Buffer.Swap) instead of being copied back — the two slices
-// ping-pong between buffer and workspace across calls.
+// the workspace's AoSoA scratch blocks, which are then swapped into the
+// particle buffer (particle.Buffer.Swap) instead of being copied back —
+// the two block slices ping-pong between buffer and workspace across
+// calls.
 //
 // With a worker pool attached (SetPool), the count and scatter passes
 // run per pipeline block: each block counts its contiguous particle
@@ -30,7 +31,7 @@ const parallelMin = 4096
 // Workspace holds the reusable buffers of the counting sort.
 type Workspace struct {
 	counts  []int32
-	scratch []particle.Particle
+	scratch []particle.Block
 	pool    *pipe.Pool
 	bcounts []int32 // NumBlocks × (nv+1) per-block count/offset matrix
 }
@@ -47,45 +48,61 @@ func (w *Workspace) SetPool(p *pipe.Pool) { w.pool = p }
 // ByVoxel sorts buf's particles by ascending voxel index. nv must be at
 // least 1 + the largest voxel index present.
 func (w *Workspace) ByVoxel(buf *particle.Buffer, nv int) {
-	p := buf.P
-	if len(p) < 2 {
+	n := buf.N()
+	if n < 2 {
 		return
 	}
-	if cap(w.scratch) < len(p) {
-		// Match the buffer's capacity so append headroom survives swaps.
-		w.scratch = make([]particle.Particle, len(p), cap(p))
+	nb := buf.NBlocks()
+	if cap(w.scratch) < nb {
+		// Match the buffer's block capacity so append headroom survives
+		// swaps.
+		w.scratch = make([]particle.Block, nb, cap(buf.Blk))
 	}
-	out := w.scratch[:len(p)]
-	if w.pool.Workers() > 1 && len(p) >= parallelMin {
-		w.sortBlocked(p, out, nv)
+	out := w.scratch[:nb]
+	if w.pool.Workers() > 1 && n >= parallelMin {
+		w.sortBlocked(buf, out, nv)
 	} else {
-		w.sortSerial(p, out, nv)
+		w.sortSerial(buf, out, nv)
 	}
-	// Zero-copy completion: the buffer adopts the sorted scratch and the
-	// old storage becomes the next call's scratch. Each slice has exactly
-	// one owner at any time, so a workspace shared across several buffers
-	// (species) never aliases their storage.
+	// Zero-copy completion: the buffer adopts the sorted scratch blocks
+	// and the old storage becomes the next call's scratch. Each slice has
+	// exactly one owner at any time, so a workspace shared across several
+	// buffers (species) never aliases their storage.
 	w.scratch = buf.Swap(out)
 }
 
 // Data-motion model of one ByVoxel call (bytes per particle; the
-// particle record is 32 B).
+// particle record is 32 B across its AoSoA lanes).
 const (
 	// BytesPerParticleSorted is the zero-copy scheme's traffic: the count
-	// pass reads each particle once and the scatter pass reads and writes
-	// it once.
-	BytesPerParticleSorted = 3 * 32
+	// pass reads each particle's voxel lane within a streamed block and
+	// the scatter pass reads the particle once and writes it once (into a
+	// scattered lane of the destination block).
+	BytesPerParticleSorted = 3 * particle.ParticleBytes
 	// BytesPerParticleCopyBack is the pre-change scheme, which appended a
 	// read+write copy-back pass from scratch to the buffer.
-	BytesPerParticleCopyBack = 5 * 32
+	BytesPerParticleCopyBack = 5 * particle.ParticleBytes
 )
 
 // TrafficBytes returns the estimated data motion of sorting n particles
 // under the zero-copy scheme.
 func TrafficBytes(n int) int64 { return int64(n) * BytesPerParticleSorted }
 
+// place scatters particle i of src into gathered slot j of the out
+// blocks (lane j&LaneMask of block j>>LaneShift).
+func place(src *particle.Buffer, out []particle.Block, i int, j int32) {
+	sb := &src.Blk[i>>particle.LaneShift]
+	sl := i & particle.LaneMask
+	db := &out[j>>particle.LaneShift]
+	dl := j & particle.LaneMask
+	db.Dx[dl], db.Dy[dl], db.Dz[dl] = sb.Dx[sl], sb.Dy[sl], sb.Dz[sl]
+	db.Voxel[dl] = sb.Voxel[sl]
+	db.Ux[dl], db.Uy[dl], db.Uz[dl] = sb.Ux[sl], sb.Uy[sl], sb.Uz[sl]
+	db.W[dl] = sb.W[sl]
+}
+
 // sortSerial is the classic single-threaded counting sort into out.
-func (w *Workspace) sortSerial(p, out []particle.Particle, nv int) {
+func (w *Workspace) sortSerial(buf *particle.Buffer, out []particle.Block, nv int) {
 	if len(w.counts) < nv+1 {
 		w.counts = make([]int32, nv+1)
 	}
@@ -93,8 +110,12 @@ func (w *Workspace) sortSerial(p, out []particle.Particle, nv int) {
 	for i := range counts {
 		counts[i] = 0
 	}
-	for i := range p {
-		counts[p[i].Voxel]++
+	n := buf.N()
+	for bi := range buf.Blk {
+		blk := &buf.Blk[bi]
+		for l := 0; l < buf.LaneCount(bi); l++ {
+			counts[blk.Voxel[l]]++
+		}
 	}
 	var sum int32
 	for v := 0; v < nv; v++ {
@@ -102,16 +123,17 @@ func (w *Workspace) sortSerial(p, out []particle.Particle, nv int) {
 		counts[v] = sum
 		sum += c
 	}
-	for i := range p {
-		v := p[i].Voxel
-		out[counts[v]] = p[i]
+	for i := 0; i < n; i++ {
+		v := buf.Voxel(i)
+		place(buf, out, i, counts[v])
 		counts[v]++
 	}
 }
 
 // sortBlocked runs the count and scatter passes per pipeline block.
-func (w *Workspace) sortBlocked(p, out []particle.Particle, nv int) {
+func (w *Workspace) sortBlocked(buf *particle.Buffer, out []particle.Block, nv int) {
 	const nb = pipe.NumBlocks
+	n := buf.N()
 	stride := nv + 1
 	if len(w.bcounts) < nb*stride {
 		w.bcounts = make([]int32, nb*stride)
@@ -124,9 +146,9 @@ func (w *Workspace) sortBlocked(p, out []particle.Particle, nv int) {
 		for i := range c {
 			c[i] = 0
 		}
-		lo, hi := pipe.BlockBounds(len(p), nb, b)
+		lo, hi := pipe.BlockBounds(n, nb, b)
 		for i := lo; i < hi; i++ {
-			c[p[i].Voxel]++
+			c[buf.Voxel(i)]++
 		}
 	})
 
@@ -142,22 +164,25 @@ func (w *Workspace) sortBlocked(p, out []particle.Particle, nv int) {
 		}
 	}
 
-	// Scatter pass: output windows are disjoint by construction.
+	// Scatter pass: output windows are disjoint by construction. Two
+	// workers may write different lanes of the same destination block;
+	// lanes are distinct memory words, so the writes do not race.
 	w.pool.Run(nb, func(b int) {
 		c := bc[b*stride : (b+1)*stride]
-		lo, hi := pipe.BlockBounds(len(p), nb, b)
+		lo, hi := pipe.BlockBounds(n, nb, b)
 		for i := lo; i < hi; i++ {
-			v := p[i].Voxel
-			out[c[v]] = p[i]
+			v := buf.Voxel(i)
+			place(buf, out, i, c[v])
 			c[v]++
 		}
 	})
 }
 
-// IsSorted reports whether the particles are in ascending voxel order.
-func IsSorted(p []particle.Particle) bool {
-	for i := 1; i < len(p); i++ {
-		if p[i].Voxel < p[i-1].Voxel {
+// IsSorted reports whether the buffer's particles are in ascending
+// voxel order.
+func IsSorted(b *particle.Buffer) bool {
+	for i := 1; i < b.N(); i++ {
+		if b.Voxel(i) < b.Voxel(i-1) {
 			return false
 		}
 	}

@@ -25,7 +25,7 @@ func TestSortsByVoxel(t *testing.T) {
 	b := randomBuffer(10000, 257, 1)
 	w := NewWorkspace(257)
 	w.ByVoxel(b, 257)
-	if !IsSorted(b.P) {
+	if !IsSorted(b) {
 		t.Fatal("not sorted")
 	}
 }
@@ -33,15 +33,15 @@ func TestSortsByVoxel(t *testing.T) {
 func TestSortIsPermutation(t *testing.T) {
 	b := randomBuffer(5000, 64, 2)
 	wantW := map[float32]int32{}
-	for _, p := range b.P {
+	for _, p := range b.All() {
 		wantW[p.W] = p.Voxel
 	}
 	w := NewWorkspace(64)
 	w.ByVoxel(b, 64)
-	if len(b.P) != 5000 {
-		t.Fatalf("lost particles: %d", len(b.P))
+	if b.N() != 5000 {
+		t.Fatalf("lost particles: %d", b.N())
 	}
-	for _, p := range b.P {
+	for _, p := range b.All() {
 		if v, ok := wantW[p.W]; !ok || v != p.Voxel {
 			t.Fatalf("particle tagged %g corrupted", p.W)
 		}
@@ -57,7 +57,7 @@ func TestSortStable(t *testing.T) {
 	w := NewWorkspace(2)
 	w.ByVoxel(b, 2)
 	want := []float32{0, 2, 4, 1, 3, 5}
-	for i, p := range b.P {
+	for i, p := range b.All() {
 		if p.W != want[i] {
 			t.Fatalf("slot %d has tag %g, want %g (stability broken)", i, p.W, want[i])
 		}
@@ -70,7 +70,7 @@ func TestSortEmptyAndSingle(t *testing.T) {
 	w.ByVoxel(b, 8) // must not panic
 	b.Append(particle.Particle{Voxel: 3})
 	w.ByVoxel(b, 8)
-	if b.N() != 1 || b.P[0].Voxel != 3 {
+	if b.N() != 1 || b.Voxel(0) != 3 {
 		t.Fatal("single-particle sort corrupted buffer")
 	}
 }
@@ -79,19 +79,24 @@ func TestWorkspaceGrows(t *testing.T) {
 	w := NewWorkspace(4)
 	b := randomBuffer(100, 1000, 3)
 	w.ByVoxel(b, 1000) // nv larger than initial workspace
-	if !IsSorted(b.P) {
+	if !IsSorted(b) {
 		t.Fatal("not sorted after workspace growth")
 	}
 }
 
 func TestIsSorted(t *testing.T) {
-	p := []particle.Particle{{Voxel: 1}, {Voxel: 1}, {Voxel: 2}}
-	if !IsSorted(p) {
-		t.Fatal("sorted slice reported unsorted")
+	b := particle.NewBuffer(3)
+	for _, v := range []int32{1, 1, 2} {
+		b.Append(particle.Particle{Voxel: v})
 	}
-	p[2].Voxel = 0
-	if IsSorted(p) {
-		t.Fatal("unsorted slice reported sorted")
+	if !IsSorted(b) {
+		t.Fatal("sorted buffer reported unsorted")
+	}
+	p := b.At(2)
+	p.Voxel = 0
+	b.Set(2, p)
+	if IsSorted(b) {
+		t.Fatal("unsorted buffer reported sorted")
 	}
 }
 
@@ -100,10 +105,10 @@ func TestSortIdempotent(t *testing.T) {
 		b := randomBuffer(500, 32, seed)
 		w := NewWorkspace(32)
 		w.ByVoxel(b, 32)
-		first := append([]particle.Particle(nil), b.P...)
+		first := b.All()
 		w.ByVoxel(b, 32)
 		for i := range first {
-			if first[i] != b.P[i] {
+			if first[i] != b.At(i) {
 				return false
 			}
 		}
@@ -125,13 +130,13 @@ func TestBlockedSortMatchesSerial(t *testing.T) {
 		wb := NewWorkspace(nv)
 		wb.SetPool(pipe.New(workers))
 		wb.ByVoxel(blocked, nv)
-		if !IsSorted(blocked.P) {
+		if !IsSorted(blocked) {
 			t.Fatalf("W=%d: blocked sort output unsorted", workers)
 		}
-		for i := range serial.P {
-			if serial.P[i] != blocked.P[i] {
+		for i := 0; i < n; i++ {
+			if serial.At(i) != blocked.At(i) {
 				t.Fatalf("W=%d: slot %d differs: serial %+v blocked %+v",
-					workers, i, serial.P[i], blocked.P[i])
+					workers, i, serial.At(i), blocked.At(i))
 			}
 		}
 	}
@@ -146,10 +151,36 @@ func TestSortAllOneVoxel(t *testing.T) {
 	}
 	w := NewWorkspace(16)
 	w.ByVoxel(b, 16)
-	for i, p := range b.P {
+	for i, p := range b.All() {
 		if p.W != float32(i) {
 			t.Fatalf("slot %d has tag %g, want %d", i, p.W, i)
 		}
+	}
+}
+
+// TestSortSwapIdentity pins the zero-copy contract after a sort: the
+// buffer's block storage must be the workspace's previous scratch (the
+// slices really ping-pong; nothing was copied back), and sorting an
+// already sorted buffer must reproduce it bit for bit in the other
+// slice.
+func TestSortSwapIdentity(t *testing.T) {
+	b := randomBuffer(1000, 64, 77)
+	w := NewWorkspace(64)
+	w.ByVoxel(b, 64)
+	firstStorage := &b.Blk[0]
+	first := b.All()
+	w.ByVoxel(b, 64) // already sorted: stable sort = identity permutation
+	if &b.Blk[0] == firstStorage {
+		t.Fatal("second sort did not swap storage (copy-back crept in)")
+	}
+	for i := range first {
+		if b.At(i) != first[i] {
+			t.Fatalf("identity re-sort changed slot %d", i)
+		}
+	}
+	// And the workspace now owns the first storage.
+	if &w.scratch[0] != firstStorage {
+		t.Fatal("workspace did not reclaim the buffer's previous storage")
 	}
 }
 
@@ -160,15 +191,15 @@ func TestSortNVGrowthBetweenCalls(t *testing.T) {
 	w := NewWorkspace(8)
 	small := randomBuffer(200, 8, 21)
 	w.ByVoxel(small, 8)
-	if !IsSorted(small.P) {
+	if !IsSorted(small) {
 		t.Fatal("small-nv sort failed")
 	}
 	big := randomBuffer(300, 2048, 22)
 	w.ByVoxel(big, 2048)
-	if !IsSorted(big.P) {
+	if !IsSorted(big) {
 		t.Fatal("sort after nv growth failed")
 	}
-	if !IsSorted(small.P) {
+	if !IsSorted(small) {
 		t.Fatal("earlier buffer corrupted by later sort (scratch aliasing)")
 	}
 }
@@ -180,13 +211,13 @@ func TestSortWorkspaceSharedAcrossBuffers(t *testing.T) {
 	a := randomBuffer(1000, 64, 31)
 	bb := randomBuffer(1000, 64, 32)
 	w.ByVoxel(a, 64)
-	snapshot := append([]particle.Particle(nil), a.P...)
+	snapshot := a.All()
 	w.ByVoxel(bb, 64)
-	if !IsSorted(bb.P) {
+	if !IsSorted(bb) {
 		t.Fatal("second buffer not sorted")
 	}
 	for i := range snapshot {
-		if a.P[i] != snapshot[i] {
+		if a.At(i) != snapshot[i] {
 			t.Fatalf("buffer A slot %d mutated by sorting buffer B", i)
 		}
 	}
@@ -205,8 +236,8 @@ func TestBlockedSortStabilityAroundThreshold(t *testing.T) {
 			wb := NewWorkspace(nv)
 			wb.SetPool(pipe.New(workers))
 			wb.ByVoxel(blocked, nv)
-			for i := range serial.P {
-				if serial.P[i] != blocked.P[i] {
+			for i := 0; i < n; i++ {
+				if serial.At(i) != blocked.At(i) {
 					t.Fatalf("n=%d W=%d: slot %d differs", n, workers, i)
 				}
 			}
@@ -224,8 +255,8 @@ func TestSortPreservesAppendHeadroom(t *testing.T) {
 	}
 	w := NewWorkspace(16)
 	w.ByVoxel(b, 16)
-	if cap(b.P) < 512 {
-		t.Fatalf("sort shrank buffer capacity to %d", cap(b.P))
+	if b.Cap() < 512 {
+		t.Fatalf("sort shrank buffer capacity to %d", b.Cap())
 	}
 }
 
