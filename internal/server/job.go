@@ -28,8 +28,8 @@ const (
 	StateCancelled State = "cancelled"
 )
 
-// terminal reports whether a job in this state will never run again.
-func (s State) terminal() bool {
+// Terminal reports whether a job in this state will never run again.
+func (s State) Terminal() bool {
 	return s == StateCompleted || s == StateFailed || s == StateCancelled
 }
 
@@ -65,6 +65,10 @@ type Job struct {
 	// ranks; zero for single-rank jobs).
 	CommWaitSeconds    float64 `json:"comm_wait_seconds,omitempty"`
 	CommOverlapSeconds float64 `json:"comm_overlap_seconds,omitempty"`
+	// CheckpointStep is the step of the latest durable checkpoint (0 if
+	// none yet). The fleet coordinator watches it to mirror checkpoint
+	// artifacts for relocation.
+	CheckpointStep int `json:"checkpoint_step,omitempty"`
 
 	cancel    func() // non-nil while running
 	preempted bool   // cancellation is a shutdown preemption, not a user cancel

@@ -62,6 +62,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("vpicd_jobs_completed_total %d", s.completed),
 		fmt.Sprintf("vpicd_jobs_failed_total %d", s.failed),
 		fmt.Sprintf("vpicd_jobs_cancelled_total %d", s.cancelled),
+		fmt.Sprintf("vpicd_jobs_rejected_total %d", s.rejected),
+		fmt.Sprintf("vpicd_draining %d", b2i(s.draining)),
 		fmt.Sprintf("vpicd_particles_advanced_total %d", pushed),
 		fmt.Sprintf("vpicd_particle_advance_rate_mpart_s %.6g", rate),
 		fmt.Sprintf("vpicd_comm_wait_seconds_total %.6f", commWait),
@@ -128,6 +130,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, l := range lines {
 		fmt.Fprintln(w, l)
 	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // classOrder maps an exchange-class name to its domain.CommClass index

@@ -30,7 +30,7 @@ func (s *Server) runnerLoop() {
 // runJob owns one job's full execution lifecycle and state transitions.
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
-	if j.State.terminal() || s.closed {
+	if j.State.Terminal() || s.closed {
 		// Cancelled while queued, or the server is draining for shutdown:
 		// leave the on-disk state untouched so a successor picks it up.
 		s.mu.Unlock()
@@ -67,6 +67,9 @@ func (s *Server) runJob(j *Job) {
 		s.cfg.Logf("vpicd: %s failed: %v", j.ID, err)
 	}
 	s.spool.writeJob(j)
+	if j.State.Terminal() {
+		s.hub.PublishState(j.ID, j.State, j.Error)
+	}
 }
 
 // execute builds the job's simulation (resuming from the spooled
@@ -83,6 +86,12 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		return err
 	}
 	hist := &diag.History{}
+	// sample appends the current energies to the history and streams the
+	// stored copy (Total filled in by Add) to SSE subscribers.
+	sample := func() {
+		hist.Add(sim.Energy())
+		s.hub.Publish(j.ID, hist.Samples[len(hist.Samples)-1])
+	}
 
 	// Resume from the latest checkpoint if the spool has one. A corrupt
 	// or truncated checkpoint (CRC-rejected) falls back to a fresh start:
@@ -106,6 +115,9 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 				for _, smp := range samples {
 					if smp.Step <= sim.StepCount() {
 						hist.Samples = append(hist.Samples, smp)
+						// Replay the recovered prefix to the hub; its monotonic
+						// dedup drops steps subscribers already saw.
+						s.hub.Publish(j.ID, smp)
 					}
 				}
 				s.cfg.Logf("vpicd: %s resuming at step %d/%d", j.ID, sim.StepCount(), j.Spec.Steps)
@@ -114,7 +126,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	}
 	if sim.StepCount() == 0 {
 		hist.Samples = hist.Samples[:0]
-		hist.Add(sim.Energy())
+		sample()
 	}
 
 	steps := j.Spec.Steps
@@ -128,7 +140,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		// The sampling rule depends only on the step number, so an
 		// interrupted run reproduces the reference history exactly.
 		if step%every == 0 || step == steps {
-			hist.Add(sim.Energy())
+			sample()
 		}
 		pushed := sim.PushedParticles()
 		rate := perf.Rate(pushed-basePushed, time.Since(wallStart))
@@ -190,16 +202,28 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	return s.spool.writeResult(j.ID, res)
 }
 
-// saveCheckpoint writes the checkpoint/history pair atomically. The
-// checkpoint commits first; readHistory filtering (Step ≤ restored
-// step) makes a crash between the two renames harmless.
+// saveCheckpoint writes the history/checkpoint pair atomically, in
+// that order. Committing the history first keeps the invariant that
+// the on-disk history is always a superset of the on-disk checkpoint's
+// sample prefix — whether the writes are interrupted by a crash or
+// observed mid-pair by the fleet coordinator's artifact mirror — so
+// the restore-side "Step ≤ restored step" filter always reconstructs
+// an exact pair with no sample lost. (Checkpoint-first would open a
+// window where the checkpoint is newer than the history; a resume in
+// that window starts past samples the history never recorded.)
 func (s *Server) saveCheckpoint(j *Job, sim *core.Simulation, hist *diag.History) error {
+	if err := s.spool.writeHistory(j.ID, hist.Samples); err != nil {
+		return err
+	}
 	if err := output.WriteFileAtomic(s.spool.checkpointPath(j.ID), func(w io.Writer) error {
 		return sim.Checkpoint(w)
 	}); err != nil {
 		return err
 	}
-	return s.spool.writeHistory(j.ID, hist.Samples)
+	s.mu.Lock()
+	j.CheckpointStep = sim.StepCount()
+	s.mu.Unlock()
+	return nil
 }
 
 // stateCRC fingerprints the full dynamic state (fields + particles) via

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"govpic/internal/deck"
+	"govpic/internal/diag"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -60,17 +61,20 @@ type Server struct {
 	cfg   Config
 	spool spool
 	queue *fifo
+	hub   *Hub
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	nextID  int
-	closed  bool
-	started time.Time
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   int
+	closed   bool
+	draining bool
+	started  time.Time
 
 	// lifetime counters (this process; reset on restart)
-	completed, failed, cancelled int64
+	completed, failed, cancelled, rejected int64
 
-	wg sync.WaitGroup
+	drainCh chan struct{}
+	wg      sync.WaitGroup
 }
 
 // New builds a server over a spool directory, recovers unfinished jobs
@@ -85,9 +89,11 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		spool:   sp,
+		hub:     NewHub(),
 		jobs:    make(map[string]*Job),
 		nextID:  1,
 		started: time.Now(),
+		drainCh: make(chan struct{}),
 	}
 	recovered, err := sp.scan()
 	if err != nil {
@@ -100,7 +106,7 @@ func New(cfg Config) (*Server, error) {
 		if _, err := fmt.Sscanf(j.ID, "job-%d", &n); err == nil && n >= s.nextID {
 			s.nextID = n + 1
 		}
-		if !j.State.terminal() {
+		if !j.State.Terminal() {
 			resume = append(resume, j)
 		}
 	}
@@ -169,10 +175,14 @@ type SubmitResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/restore", s.handleRestore)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{kind}", s.handleArtifact)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -213,12 +223,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	if s.queue.free() < len(specs) {
+		s.rejected++
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusTooManyRequests,
@@ -249,15 +260,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	stateQ := State(r.URL.Query().Get("state"))
+	switch stateQ {
+	case "", StateQueued, StateRunning, StateCompleted, StateFailed, StateCancelled:
+	default:
+		writeError(w, http.StatusBadRequest, "unknown state %q", stateQ)
+		return
+	}
 	s.mu.Lock()
 	list := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
+		if stateQ != "" && j.State != stateQ {
+			continue
+		}
 		cp := *j
 		list = append(list, &cp)
 	}
 	s.mu.Unlock()
-	// Stable order for humans and scripts alike.
-	sort.Slice(list, func(a, b int) bool { return list[a].ID < list[b].ID })
+	// Deterministic submit-time order (IDs break recovered-job ties,
+	// where Submitted survives the restart but clocks could collide).
+	sort.Slice(list, func(a, b int) bool {
+		if !list[a].Submitted.Equal(list[b].Submitted) {
+			return list[a].Submitted.Before(list[b].Submitted)
+		}
+		return list[a].ID < list[b].ID
+	})
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
 }
 
@@ -313,7 +340,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
-	if j.State.terminal() {
+	if j.State.Terminal() {
 		state := j.State
 		s.mu.Unlock()
 		writeError(w, http.StatusConflict, "job %s already %s", id, state)
@@ -330,6 +357,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j.State = StateCancelled
 	s.cancelled++
 	s.spool.writeJob(j)
+	s.hub.PublishState(j.ID, StateCancelled, "")
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled"})
 }
@@ -338,16 +366,136 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.jobs)
 	closed := s.closed
+	draining := s.draining
+	queueFree := s.queue.free()
+	queueDepth := s.queue.depth()
 	s.mu.Unlock()
 	status := "ok"
 	code := http.StatusOK
+	if draining {
+		// Still serving (status, results, artifacts) but not admitting:
+		// the fleet coordinator keeps the worker alive yet unschedulable.
+		status = "draining"
+	}
 	if closed {
 		status = "shutting-down"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"uptime_s": time.Since(s.started).Seconds(),
-		"jobs":     n,
+		"status":      status,
+		"uptime_s":    time.Since(s.started).Seconds(),
+		"jobs":        n,
+		"queue_free":  queueFree,
+		"queue_depth": queueDepth,
 	})
+}
+
+// Drain stops admissions (submit answers 503) without touching running
+// jobs and signals DrainRequested. The process owner is expected to
+// then Close (checkpointing running jobs) and exit 0 so a successor on
+// the same spool resumes the backlog — the rolling-restart primitive.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.drainCh)
+}
+
+// Draining reports whether admissions have been stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// DrainRequested is closed when a drain has been requested (via Drain
+// or POST /v1/drain).
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainCh }
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	s.cfg.Logf("vpicd: drain requested; admissions stopped")
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}
+
+// handleEvents streams a job's step-granular energy samples over SSE,
+// ending with a terminal state event. A terminal job recovered from a
+// previous process has no live stream; its history is replayed from
+// the spool instead.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state State
+	var errMsg string
+	if ok {
+		state = j.State
+		errMsg = j.Error
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if state.Terminal() && !s.hub.Ended(id) {
+		s.seedTerminalStream(id, state, errMsg)
+	}
+	ServeSSE(w, r, s.hub, id)
+}
+
+// seedTerminalStream loads a terminal job's energy history from the
+// spool into the hub so SSE replay works across process restarts.
+func (s *Server) seedTerminalStream(id string, state State, errMsg string) {
+	var samples []diag.EnergySample
+	if state == StateCompleted {
+		if f, err := os.Open(s.spool.resultPath(id)); err == nil {
+			var res Result
+			if json.NewDecoder(f).Decode(&res) == nil {
+				samples = res.History
+			}
+			f.Close()
+		}
+	} else {
+		samples, _ = s.spool.readHistory(id)
+	}
+	for _, smp := range samples {
+		s.hub.Publish(id, smp)
+	}
+	s.hub.PublishState(id, state, errMsg)
+}
+
+// handleArtifact serves a job's spooled checkpoint or energy-history
+// file — the coordinator's relocation source. 404 when the artifact
+// does not (or no longer) exist(s), e.g. after completion retires the
+// checkpoint pair.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	var path, ctype string
+	switch kind := r.PathValue("kind"); kind {
+	case "checkpoint":
+		path, ctype = s.spool.checkpointPath(id), "application/octet-stream"
+	case "history":
+		path, ctype = s.spool.historyPath(id), "application/json"
+	default:
+		writeError(w, http.StatusNotFound, "unknown artifact %q", kind)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no %s artifact for %s", r.PathValue("kind"), id)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", ctype)
+	io.Copy(w, f)
 }

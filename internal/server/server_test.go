@@ -94,7 +94,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want State) Job {
 		if j.State == want {
 			return j
 		}
-		if j.State.terminal() {
+		if j.State.Terminal() {
 			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
 		}
 		time.Sleep(2 * time.Millisecond)

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpoolScanCorruptJobRecord: one job dir with a corrupted or
+// truncated job.json must not prevent recovery of its siblings — a
+// single bad record is a skipped job, not a dead worker.
+func TestSpoolScanCorruptJobRecord(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := startServer(t, dir, Config{})
+	_, sr := submit(t, ts, SubmitRequest{
+		Deck:  smallThermal(10),
+		Sweep: map[string][]float64{"uth": {0.03, 0.05, 0.07}},
+	})
+	if len(sr.Jobs) != 3 {
+		t.Fatalf("sweep expanded to %d jobs, want 3", len(sr.Jobs))
+	}
+	for _, jr := range sr.Jobs {
+		waitState(t, ts, jr.ID, StateCompleted)
+	}
+	ts.Close()
+	srv.Close()
+
+	corruptions := map[string]func(path string){
+		sr.Jobs[0].ID: func(p string) { // truncated mid-record
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		sr.Jobs[1].ID: func(p string) { // garbage
+			if err := os.WriteFile(p, []byte("not json at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for id, corrupt := range corruptions {
+		corrupt(filepath.Join(dir, id, "job.json"))
+	}
+	// An empty stray dir must be skipped too.
+	if err := os.MkdirAll(filepath.Join(dir, "job-999990"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := startServer(t, dir, Config{})
+	defer ts2.Close()
+	defer srv2.Close()
+	survivor := sr.Jobs[2].ID
+	if j := getStatus(t, ts2, survivor); j.State != StateCompleted {
+		t.Fatalf("survivor %s recovered as %s, want completed", survivor, j.State)
+	}
+	for id := range corruptions {
+		resp, err := http.Get(ts2.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("corrupted %s: HTTP %d, want 404 (skipped)", id, resp.StatusCode)
+		}
+	}
+}
