@@ -82,6 +82,33 @@ func main() {
 		}
 	}
 
+	// Load imbalance on multi-rank records: higher is worse. The ratio
+	// is max/mean per-rank push seconds, so 1.0 is perfect balance.
+	// Skipped when the baseline predates imbalance recording or either
+	// record is single-rank; regressions only count against a baseline
+	// measured under the same balance mode (comparing a balanced run to
+	// a static one is an experiment, not a regression).
+	switch {
+	case base.ImbalanceRatio == 0:
+		fmt.Printf("imbalance          baseline record has none — skipping\n")
+	case cand.ImbalanceRatio == 0:
+		fmt.Printf("imbalance          candidate record has none — skipping\n")
+	case base.Balance != cand.Balance:
+		fmt.Printf("imbalance          balance modes differ (%q vs %q) — skipping\n", base.Balance, cand.Balance)
+	default:
+		// The excess over perfect balance may grow by tol (an absolute
+		// floor of tol keeps near-1.0 baselines from gating on noise).
+		ceil := 1 + (base.ImbalanceRatio-1)*(1+*tol) + *tol
+		fmt.Printf("imbalance          baseline %8.3f  candidate %8.3f  ceiling %8.3f",
+			base.ImbalanceRatio, cand.ImbalanceRatio, ceil)
+		if cand.ImbalanceRatio > ceil {
+			fmt.Printf("  REGRESSION\n")
+			failed = true
+		} else {
+			fmt.Printf("  ok\n")
+		}
+	}
+
 	if failed {
 		fmt.Println("benchgate: FAIL")
 		os.Exit(1)

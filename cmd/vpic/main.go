@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,8 @@ import (
 	"strings"
 	"time"
 
+	"govpic/internal/balance"
+	"govpic/internal/core"
 	"govpic/internal/deck"
 	"govpic/internal/diag"
 	"govpic/internal/output"
@@ -29,7 +32,7 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("deck", "thermal", "deck: thermal | oscillation | twostream | weibel | landau | lpi")
+		name    = flag.String("deck", "thermal", "deck: thermal | spike | oscillation | twostream | weibel | landau | lpi")
 		steps   = flag.Int("steps", 500, "number of time steps")
 		every   = flag.Int("every", 10, "energy sample interval (steps)")
 		ranks   = flag.Int("ranks", 1, "domain-decomposed rank count")
@@ -48,6 +51,10 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the step loop here")
 		memProf = flag.String("memprofile", "", "write a heap profile here at the end")
 		benchJS = flag.String("bench-json", "", "write a machine-readable benchmark record: a .json path, or a directory for BENCH_<date>.json")
+
+		balMode = flag.String("balance", "", "dynamic load balancing: off | checkpoint | online (default: deck/config setting)")
+		balInt  = flag.Int("balance-interval", 0, "steps between balance checks (0 = default 10)")
+		balThr  = flag.Float64("balance-threshold", 0, "max/mean particle imbalance that triggers a repartition (0 = default 1.25)")
 
 		// Distributed mode: -local-ranks forks one process per rank on
 		// this machine; -rank/-join runs one rank of a (possibly
@@ -104,6 +111,19 @@ func main() {
 	if overlapSet || *config == "" {
 		d.Cfg.NoOverlap = !*overlap
 	}
+	if *balMode != "" {
+		mode, err := balance.ParseMode(*balMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.Cfg.Balance.Mode = mode
+	}
+	if *balInt != 0 {
+		d.Cfg.Balance.Interval = *balInt
+	}
+	if *balThr != 0 {
+		d.Cfg.Balance.Threshold = *balThr
+	}
 	if *rank >= 0 {
 		if *join == "" {
 			log.Fatal("-rank needs -join (the rendezvous address)")
@@ -124,14 +144,10 @@ func main() {
 		log.Fatal(err)
 	}
 	if *restore != "" {
-		f, err := os.Open(*restore)
+		sim, err = restoreCheckpoint(sim, d, *restore)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sim.Restore(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 		fmt.Printf("restored at step %d (t = %.3f)\n", sim.StepCount(), sim.Time())
 	}
 
@@ -150,9 +166,28 @@ func main() {
 		}
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
+	// Tier A (checkpoint-boundary rebalancing) runs in the driver: at
+	// every balance interval the state is checkpointed to memory and
+	// re-binned into a bisection-optimal layout when imbalanced.
+	// Cumulative counters stay with the discarded simulation, so carry
+	// them across swaps.
+	var carry counterCarry
+	rebalances := 0
+	tierA := d.Cfg.Balance.Mode == balance.Checkpoint && d.Cfg.NRanks > 1
 	wallStart := time.Now()
 	for s := 0; s < *steps; s++ {
 		sim.Step()
+		if tierA && sim.StepCount()%d.Cfg.Balance.Interval == 0 {
+			sim2, did, err := core.Rebalanced(sim)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if did {
+				carry.absorb(sim)
+				sim = sim2
+				rebalances++
+			}
+		}
 		if (s+1)%*every == 0 {
 			hist.Add(sim.Energy())
 		}
@@ -178,9 +213,16 @@ func main() {
 		last.Time, last.EField, last.BField, sum(last.Kinetic), last.Total)
 	fmt.Printf("relative energy drift: %.3g\n", hist.RelativeDrift())
 	b := sim.PerfBreakdown()
+	b.Merge(&carry.perf)
 	fmt.Print(b.Report())
 	if d.Cfg.NRanks > 1 {
 		printCommTables(sim.CommLinks(), sim.CommTraffic())
+		fmt.Printf("per-rank particles: %v  push imbalance (max/mean): %.3f\n",
+			sim.PerRankParticles(), sim.ImbalanceRatio())
+	}
+	if d.Cfg.Balance.Mode != balance.Off {
+		fmt.Printf("balance %s: %d checkpoint rebalances, x-cuts %v\n",
+			d.Cfg.Balance.Mode, rebalances, sim.CutsX())
 	}
 	if *stateCRC != "" {
 		if err := writeStateCRCFile(*stateCRC, d.Name, sim.StepCount(), d.Cfg.NRanks, sim.StateCRCs()); err != nil {
@@ -237,7 +279,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		pushRate := perf.Rate(sim.PushedParticles(), wall)
+		pushRate := perf.Rate(carry.pushed+sim.PushedParticles(), wall)
 		err = output.WriteSummary(f, output.Summary{
 			Deck:      d.Name,
 			Steps:     sim.StepCount(),
@@ -247,7 +289,7 @@ func main() {
 			WallClock: wall.Seconds(),
 			Rates: map[string]float64{
 				"Mpart_per_s": pushRate / 1e6,
-				"Gflop_per_s": float64(sim.Flops()) / wall.Seconds() / 1e9,
+				"Gflop_per_s": float64(carry.flops+sim.Flops()) / wall.Seconds() / 1e9,
 			},
 			Energy: map[string]float64{
 				"total": last.Total, "field": last.EField + last.BField,
@@ -267,6 +309,7 @@ func main() {
 			path = filepath.Join(path, fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02")))
 		}
 		pb := sim.PerfBreakdown()
+		pb.Merge(&carry.perf)
 		stats := pb.Snapshot()
 		secs := make([]output.BenchSection, len(stats))
 		for i, st := range stats {
@@ -286,12 +329,17 @@ func main() {
 			CommWaitSeconds:    pb.CommWait().Seconds(),
 			CommOverlapSeconds: pb.CommOverlap().Seconds(),
 			WallSeconds:        wall.Seconds(),
-			MPartPerS:          perf.Rate(sim.PushedParticles(), wall) / 1e6,
-			GFlopPerS:          float64(sim.Flops()) / wall.Seconds() / 1e9,
+			MPartPerS:          perf.Rate(carry.pushed+sim.PushedParticles(), wall) / 1e6,
+			GFlopPerS:          float64(carry.flops+sim.Flops()) / wall.Seconds() / 1e9,
 			PushEffGBs:         pb.EffectiveGBs(perf.Push),
 			Sections:           secs,
 			CommTraffic:        classRecords(sim.CommTraffic(), sim.StepCount()),
 			CommLinks:          linkRecords(sim.CommLinks()),
+		}
+		if d.Cfg.NRanks > 1 {
+			rec.ImbalanceRatio = sim.ImbalanceRatio()
+			rec.PerRankParticles = sim.PerRankParticles()
+			rec.Balance = d.Cfg.Balance.Mode.String()
 		}
 		err := output.WriteFileAtomic(path, func(w io.Writer) error {
 			return output.WriteBench(w, rec)
@@ -315,6 +363,8 @@ func buildDeck(name string, nx, ppc, ranks int, a0 float64) (deck.Deck, error) {
 	switch name {
 	case "thermal":
 		return deck.Thermal(nx, 4, 4, ppc, ranks, 0.2, 0.05), nil
+	case "spike":
+		return deck.Spike(nx, 8, 8, ppc, ranks, 0.2, 0.05), nil
 	case "oscillation":
 		return deck.PlasmaOscillation(nx, ppc, 0.25), nil
 	case "twostream":
@@ -331,6 +381,64 @@ func buildDeck(name string, nx, ppc, ranks int, a0 float64) (deck.Deck, error) {
 	default:
 		return deck.Deck{}, fmt.Errorf("unknown deck %q", name)
 	}
+}
+
+// counterCarry accumulates the cumulative counters of simulations
+// discarded by Tier A rebalancing swaps, so end-of-run reports cover
+// the whole run.
+type counterCarry struct {
+	perf   perf.Breakdown
+	pushed int64
+	flops  int64
+}
+
+func (cc *counterCarry) absorb(s *core.Simulation) {
+	pb := s.PerfBreakdown()
+	cc.perf.Merge(&pb)
+	cc.pushed += s.PushedParticles()
+	cc.flops += s.Flops()
+}
+
+// restoreCheckpoint loads a checkpoint, accepting a layout other than
+// the simulation's own: when the file records different partition
+// planes (it was written mid-rebalance), the run is rebuilt pinned to
+// the recorded cuts — a bit-exact resume into the geometry the state
+// was written in. If that is not possible (e.g. the recorded
+// decomposition is not x-only under this rank count, or boundaries are
+// not periodic), the state is re-binned into the current geometry
+// instead. Grid or species mismatches stay fatal.
+func restoreCheckpoint(sim *core.Simulation, d deck.Deck, path string) (*core.Simulation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	err = sim.Restore(f)
+	var lme *core.LayoutMismatchError
+	if !errors.As(err, &lme) {
+		return sim, err
+	}
+	if lme.Layout.Dec.PX == d.Cfg.NRanks {
+		cfg2 := d.Cfg
+		cfg2.CutsX = append([]int(nil), lme.Layout.CX...)
+		if s2, err2 := core.New(cfg2); err2 == nil {
+			if _, err2 = f.Seek(0, io.SeekStart); err2 != nil {
+				return nil, err2
+			}
+			if err2 = s2.Restore(f); err2 == nil {
+				fmt.Printf("checkpoint layout differs: resumed into its recorded x-cuts %v\n", cfg2.CutsX)
+				return s2, nil
+			}
+		}
+	}
+	if _, err = f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if err = sim.RestoreRebin(f); err != nil {
+		return nil, fmt.Errorf("re-binned restore: %w", err)
+	}
+	fmt.Printf("checkpoint layout differs: re-binned %v into the current geometry\n", lme.Layout.CX)
+	return sim, nil
 }
 
 func sum(xs []float64) float64 {

@@ -1,0 +1,114 @@
+package balance
+
+// BisectCuts computes a plane layout for parts slabs over a weighted
+// line of cells by recursive bisection: each node splits its cell
+// range at the plane that best approximates the weighted p1/p share
+// (p1 = p/2), subject to every slab keeping at least one cell. The
+// result is a cut array of parts+1 entries with cuts[0]=0 and
+// cuts[parts]=len(weights); slab i owns cells [cuts[i], cuts[i+1]).
+// The recursion is deterministic (ties break toward the smaller cut),
+// so every rank computing it from the same weights gets the same
+// layout.
+func BisectCuts(weights []float64, parts int) []int {
+	cuts := make([]int, parts+1)
+	cuts[parts] = len(weights)
+	prefix := make([]float64, len(weights)+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	bisect(prefix, cuts, 0, parts, 0, len(weights))
+	return cuts
+}
+
+// bisect fills cuts[part..part+p] for the slab group owning cells
+// [lo,hi). prefix is the global cumulative weight (prefix[c] = total
+// weight of cells [0,c)).
+func bisect(prefix []float64, cuts []int, part, p, lo, hi int) {
+	cuts[part] = lo
+	cuts[part+p] = hi
+	if p == 1 {
+		return
+	}
+	p1 := p / 2
+	total := prefix[hi] - prefix[lo]
+	target := prefix[lo] + total*float64(p1)/float64(p)
+	// The cut must leave at least one cell per slab on each side.
+	cmin, cmax := lo+p1, hi-(p-p1)
+	best := cmin
+	bestErr := abs(prefix[cmin] - target)
+	for c := cmin + 1; c <= cmax; c++ {
+		if e := abs(prefix[c] - target); e < bestErr {
+			best, bestErr = c, e
+		}
+	}
+	bisect(prefix, cuts, part, p1, lo, best)
+	bisect(prefix, cuts, part+p1, p-p1, best, hi)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// StepToward moves each interior cut of cur at most one cell toward
+// target, preserving validity (strictly increasing, every slab keeps
+// at least one cell). This is the Tier B primitive: one call shifts
+// every plane by at most one cell, so the per-step migration volume is
+// bounded by one plane of particles per cut.
+func StepToward(cur, target []int) []int {
+	out := make([]int, len(cur))
+	copy(out, cur)
+	for i := 1; i < len(out)-1; i++ {
+		switch {
+		case target[i] > cur[i]:
+			out[i] = cur[i] + 1
+		case target[i] < cur[i]:
+			out[i] = cur[i] - 1
+		}
+	}
+	// Moving adjacent cuts toward each other can pinch a slab to zero
+	// width; restore validity without ever exceeding the one-cell move
+	// (pushing a cut back toward cur is always a legal position, since
+	// cur itself was valid).
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1]+1 {
+			out[i] = out[i-1] + 1
+		}
+	}
+	for i := len(out) - 2; i >= 0; i-- {
+		if out[i] > out[i+1]-1 {
+			out[i] = out[i+1] - 1
+		}
+	}
+	return out
+}
+
+// Imbalance returns the max/mean slab weight of cuts over the given
+// per-cell weights (1 for empty input or zero total weight).
+func Imbalance(weights []float64, cuts []int) float64 {
+	if len(cuts) < 2 {
+		return 1
+	}
+	slabs := make([]float64, len(cuts)-1)
+	for i := range slabs {
+		for c := cuts[i]; c < cuts[i+1]; c++ {
+			slabs[i] += weights[c]
+		}
+	}
+	return MaxOverMean(slabs)
+}
+
+// CutsEqual reports whether two cut arrays are identical.
+func CutsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

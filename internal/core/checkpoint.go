@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 
+	"govpic/internal/grid"
 	"govpic/internal/particle"
 )
 
@@ -23,11 +24,51 @@ import (
 // byte (magic included), so Restore can reject truncated or bit-flipped
 // files instead of silently resuming from garbage. v1 files (no
 // checksum) are still read.
+//
+// Format v3 additionally records the rank layout (decomposition shape
+// and partition-plane cuts) after the header, so a checkpoint written
+// by a load-balanced run can be resumed either exactly (rebuilding the
+// recorded geometry via Config.CutsX) or re-binned into a different
+// geometry (RestoreRebin). v1/v2 files are read with their layout
+// reconstructed from the uniform decomposition their rank count
+// implies.
 
 const (
-	checkpointMagic   = "GOVPIC-CKPT-2\n"
+	checkpointMagic   = "GOVPIC-CKPT-3\n"
+	checkpointMagicV2 = "GOVPIC-CKPT-2\n"
 	checkpointMagicV1 = "GOVPIC-CKPT-1\n"
 )
+
+// GeometryMismatchError reports a checkpoint whose global grid or
+// species count differs from the receiving simulation's. No resume
+// path can bridge it: the file describes a different physical problem.
+type GeometryMismatchError struct {
+	FileNX, FileNY, FileNZ, FileSpecies int
+	WantNX, WantNY, WantNZ, WantSpecies int
+}
+
+func (e *GeometryMismatchError) Error() string {
+	return fmt.Sprintf("core: checkpoint geometry %dx%dx%d/%d species does not match simulation %dx%dx%d/%d species",
+		e.FileNX, e.FileNY, e.FileNZ, e.FileSpecies, e.WantNX, e.WantNY, e.WantNZ, e.WantSpecies)
+}
+
+// LayoutMismatchError reports a checkpoint whose global grid and
+// species match but whose rank layout (rank count, decomposition shape
+// or partition-plane cuts) differs from the simulation's. It is
+// recoverable two ways: rebuild a simulation pinned to the recorded
+// geometry (Config.CutsX = Layout.CX, NRanks = Layout.Dec.NRanks())
+// and Restore exactly, or re-bin the file into the current geometry
+// with RestoreRebin.
+type LayoutMismatchError struct {
+	// Layout is the partition the checkpoint was written under.
+	Layout grid.Layout
+}
+
+func (e *LayoutMismatchError) Error() string {
+	d := e.Layout.Dec
+	return fmt.Sprintf("core: checkpoint layout %dx%dx%d ranks (x cuts %v) does not match simulation (re-bin or rebuild the recorded geometry to resume)",
+		d.PX, d.PY, d.PZ, e.Layout.CX)
+}
 
 type cpWriter struct {
 	w   io.Writer
@@ -87,8 +128,8 @@ func (c *cpReader) f32s(a []float32) {
 	}
 }
 
-// Checkpoint writes the full dynamic state to w in format v2 (with the
-// trailing CRC32).
+// Checkpoint writes the full dynamic state to w in format v3 (with the
+// rank layout and the trailing CRC32).
 func (s *Simulation) Checkpoint(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	h := crc32.NewIEEE()
@@ -104,6 +145,7 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	c.u64(uint64(len(s.Cfg.Species)))
 	c.u64(uint64(s.step))
 	c.f64(s.time)
+	writeLayout(c, s.Ranks[0].D.Cfg.Layout)
 	for _, rk := range s.Ranks {
 		rk.writeState(c)
 	}
@@ -116,6 +158,18 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeLayout serializes the rank layout (v3 header extension).
+func writeLayout(c *cpWriter, lay grid.Layout) {
+	c.u64(uint64(lay.Dec.PX))
+	c.u64(uint64(lay.Dec.PY))
+	c.u64(uint64(lay.Dec.PZ))
+	for _, cuts := range [][]int{lay.CX, lay.CY, lay.CZ} {
+		for _, v := range cuts {
+			c.u64(uint64(v))
+		}
+	}
 }
 
 // writeState serializes this rank's dynamic state — fields, background
@@ -166,44 +220,141 @@ func (s *Simulation) StateCRCs() []uint32 {
 	return out
 }
 
-// Restore loads a checkpoint written by a simulation with the same
-// geometry, rank count and species list, replacing all dynamic state.
-// v2 files are checksum-verified; a truncated or bit-flipped file is
-// rejected with an error, in which case the simulation's dynamic state
-// is undefined and the caller should rebuild or re-restore before
-// stepping.
-func (s *Simulation) Restore(r io.Reader) error {
-	br := bufio.NewReaderSize(r, 1<<20)
+// cpHeader is a checkpoint's parsed preamble: global geometry, time
+// counters and the rank layout the per-rank payload is laid out in.
+type cpHeader struct {
+	nx, ny, nz int
+	nSpecies   int
+	step       int
+	time       float64
+	layout     grid.Layout
+}
+
+// readCheckpointHeader consumes the magic and header from br and
+// returns the parsed preamble, the reader positioned at the first
+// rank's payload (checksumming into h when the format carries a CRC;
+// h is nil for v1). v1/v2 files carry no layout, so theirs is
+// reconstructed as the uniform decomposition their rank count implies
+// — exactly the geometry those versions were written under.
+func readCheckpointHeader(br *bufio.Reader) (*cpHeader, *cpReader, hash.Hash32, error) {
 	magic := make([]byte, len(checkpointMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("core: checkpoint truncated: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: checkpoint truncated: %w", err)
 	}
 	var h hash.Hash32
+	v3 := false
 	switch string(magic) {
 	case checkpointMagic:
+		h = crc32.NewIEEE()
+		h.Write(magic)
+		v3 = true
+	case checkpointMagicV2:
 		h = crc32.NewIEEE()
 		h.Write(magic)
 	case checkpointMagicV1:
 		// Legacy format: no checksum to verify.
 	default:
-		return fmt.Errorf("core: not a checkpoint (bad magic)")
+		return nil, nil, nil, fmt.Errorf("core: not a checkpoint (bad magic)")
 	}
 	var src io.Reader = br
 	if h != nil {
 		src = io.TeeReader(br, h)
 	}
 	c := &cpReader{r: src}
-	nx, ny, nz := c.u64(), c.u64(), c.u64()
-	nRanks, nSpecies := c.u64(), c.u64()
-	step := c.u64()
-	tme := c.f64()
-	if c.err != nil {
-		return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
+	hd := &cpHeader{}
+	hd.nx, hd.ny, hd.nz = int(c.u64()), int(c.u64()), int(c.u64())
+	nRanks := int(c.u64())
+	hd.nSpecies = int(c.u64())
+	hd.step = int(c.u64())
+	hd.time = c.f64()
+	if v3 {
+		px, py, pz := int(c.u64()), int(c.u64()), int(c.u64())
+		if c.err == nil && px*py*pz != nRanks {
+			return nil, nil, nil, fmt.Errorf("core: checkpoint layout %dx%dx%d does not cover %d ranks", px, py, pz, nRanks)
+		}
+		readCuts := func(p int) []int {
+			if c.err != nil || p < 1 || p > 1<<20 {
+				c.err = fmt.Errorf("implausible slab count %d", p)
+				return nil
+			}
+			cuts := make([]int, p+1)
+			for i := range cuts {
+				cuts[i] = int(c.u64())
+			}
+			return cuts
+		}
+		cx, cy, cz := readCuts(px), readCuts(py), readCuts(pz)
+		if c.err == nil {
+			dec := grid.Decomp{PX: px, PY: py, PZ: pz, GNX: hd.nx, GNY: hd.ny, GNZ: hd.nz}
+			lay, err := grid.NewLayout(dec, cx, cy, cz)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("core: checkpoint layout invalid: %w", err)
+			}
+			hd.layout = lay
+		}
+	} else {
+		dec, err := grid.ChooseDecomp(nRanks, hd.nx, hd.ny, hd.nz)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: checkpoint rank count %d does not decompose %dx%dx%d: %w",
+				nRanks, hd.nx, hd.ny, hd.nz, err)
+		}
+		hd.layout = grid.Uniform(dec)
 	}
-	if int(nx) != s.Cfg.NX || int(ny) != s.Cfg.NY || int(nz) != s.Cfg.NZ ||
-		int(nRanks) != len(s.Ranks) || int(nSpecies) != len(s.Cfg.Species) {
-		return fmt.Errorf("core: checkpoint geometry %dx%dx%d/%d ranks/%d species does not match simulation",
-			nx, ny, nz, nRanks, nSpecies)
+	if c.err != nil {
+		return nil, nil, nil, fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
+	}
+	return hd, c, h, nil
+}
+
+// verifyTrailer checks the v2/v3 CRC trailer (h nil skips, for v1).
+func verifyTrailer(br *bufio.Reader, h hash.Hash32) error {
+	if h == nil {
+		return nil
+	}
+	want := h.Sum32()
+	var tr [4]byte
+	if _, err := io.ReadFull(br, tr[:]); err != nil {
+		return fmt.Errorf("core: checkpoint truncated (missing CRC trailer): %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
+		return fmt.Errorf("core: checkpoint corrupt: CRC %08x in file, %08x computed", got, want)
+	}
+	return nil
+}
+
+// checkGeometry compares a checkpoint's global geometry to the
+// config's, returning the structured hard error on mismatch.
+func checkGeometry(hd *cpHeader, cfg *Config) error {
+	if hd.nx != cfg.NX || hd.ny != cfg.NY || hd.nz != cfg.NZ || hd.nSpecies != len(cfg.Species) {
+		return &GeometryMismatchError{
+			FileNX: hd.nx, FileNY: hd.ny, FileNZ: hd.nz, FileSpecies: hd.nSpecies,
+			WantNX: cfg.NX, WantNY: cfg.NY, WantNZ: cfg.NZ, WantSpecies: len(cfg.Species),
+		}
+	}
+	return nil
+}
+
+// Restore loads a checkpoint written by a simulation with the same
+// geometry, rank layout and species list, replacing all dynamic state
+// bit-exactly. A grid or species mismatch returns
+// *GeometryMismatchError (unrecoverable); a rank-layout mismatch
+// returns *LayoutMismatchError carrying the recorded layout, which the
+// caller can bridge by rebuilding the recorded geometry or re-binning
+// with RestoreRebin. v2/v3 files are checksum-verified; a truncated or
+// bit-flipped file is rejected with an error, in which case the
+// simulation's dynamic state is undefined and the caller should
+// rebuild or re-restore before stepping.
+func (s *Simulation) Restore(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hd, c, h, err := readCheckpointHeader(br)
+	if err != nil {
+		return err
+	}
+	if err := checkGeometry(hd, &s.Cfg); err != nil {
+		return err
+	}
+	if cur := s.Ranks[0].D.Cfg.Layout; !hd.layout.Equal(cur) {
+		return &LayoutMismatchError{Layout: hd.layout}
 	}
 	for _, rk := range s.Ranks {
 		f := rk.D.F
@@ -240,18 +391,11 @@ func (s *Simulation) Restore(r io.Reader) error {
 	if c.err != nil {
 		return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
 	}
-	if h != nil {
-		want := h.Sum32()
-		var tr [4]byte
-		if _, err := io.ReadFull(br, tr[:]); err != nil {
-			return fmt.Errorf("core: checkpoint truncated (missing CRC trailer): %w", err)
-		}
-		if got := binary.LittleEndian.Uint32(tr[:]); got != want {
-			return fmt.Errorf("core: checkpoint corrupt: CRC %08x in file, %08x computed", got, want)
-		}
+	if err := verifyTrailer(br, h); err != nil {
+		return err
 	}
-	s.step = int(step)
-	s.time = tme
+	s.step = hd.step
+	s.time = hd.time
 	// Rebuild derived state.
 	s.onAllRanks(func(rk *Rank) {
 		rk.IP.Load(rk.D.F)

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// ckptFixture runs a small plasma a few steps and returns its v2
+// ckptFixture runs a small plasma a few steps and returns its v3
 // checkpoint bytes together with the config that produced them.
 func ckptFixture(t *testing.T) (Config, []byte) {
 	t.Helper()
@@ -25,10 +25,10 @@ func ckptFixture(t *testing.T) (Config, []byte) {
 
 func TestCheckpointCRCDetectsBitFlip(t *testing.T) {
 	cfg, ckpt := ckptFixture(t)
-	// Flip one bit inside the field data (past the 14-byte magic and the
-	// 56-byte header) — structurally valid, numerically corrupt.
+	// Flip one bit mid-file (inside the state payload, well past the
+	// header) — structurally valid, numerically corrupt.
 	flipped := append([]byte(nil), ckpt...)
-	flipped[len("GOVPIC-CKPT-2\n")+56+32] ^= 0x10
+	flipped[len(flipped)/2] ^= 0x10
 
 	s, err := New(cfg)
 	if err != nil {
@@ -62,9 +62,13 @@ func TestCheckpointRejectsTruncated(t *testing.T) {
 
 func TestCheckpointReadsV1(t *testing.T) {
 	cfg, ckpt := ckptFixture(t)
-	// A v1 file is the v2 payload under the old magic, without the CRC
-	// trailer.
-	v1 := append([]byte("GOVPIC-CKPT-1\n"), ckpt[len("GOVPIC-CKPT-2\n"):len(ckpt)-4]...)
+	// A v1 file is the v3 payload under the old magic, without the CRC
+	// trailer and without the v3 layout section (for this 1-rank run:
+	// px,py,pz plus three 2-entry cut arrays, 8 bytes each).
+	magLen := len("GOVPIC-CKPT-3\n")
+	layoutLen := 8 * (3 + 2 + 2 + 2)
+	v1 := append([]byte("GOVPIC-CKPT-1\n"), ckpt[magLen:magLen+56]...)
+	v1 = append(v1, ckpt[magLen+56+layoutLen:len(ckpt)-4]...)
 
 	restore := func(data []byte) EnergySampleTotals {
 		s, err := New(cfg)

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"govpic/internal/balance"
 	"govpic/internal/field"
 	"govpic/internal/grid"
 	"govpic/internal/laser"
@@ -16,6 +17,24 @@ import (
 	"govpic/internal/pipe"
 	"govpic/internal/push"
 )
+
+// BalanceConfig tunes the dynamic load balancer (see internal/balance
+// and DESIGN §13). The zero value disables it.
+type BalanceConfig struct {
+	// Mode selects off / checkpoint-boundary / online rebalancing.
+	Mode balance.Mode
+	// Interval is the number of steps between online imbalance checks
+	// (0 resolves to 10). The check itself is one small collective.
+	Interval int
+	// Threshold is the max/mean particle imbalance that triggers a
+	// repartition (0 resolves to 1.25; must be ≥ 1).
+	Threshold float64
+	// Window is the sliding-window length of the observability
+	// detector that reports the measured push-seconds imbalance (0
+	// resolves to 5). Decisions use particle counts, not seconds, so
+	// every rank decides identically.
+	Window int
+}
 
 // SpeciesConfig declares one kinetic species.
 type SpeciesConfig struct {
@@ -92,6 +111,19 @@ type Config struct {
 	// particle.Lanes. The two shapes are bit-identical (see
 	// internal/push), so this is a speed knob, not a physics knob.
 	Lanes int
+
+	// CutsX optionally pins a non-uniform x-plane layout: len(CutsX)-1
+	// x-slabs owning global cells [CutsX[i], CutsX[i+1]). Nil means
+	// the uniform division. A rebalanced checkpoint records its cuts
+	// here so a resume rebuilds the exact geometry it was written in.
+	CutsX []int
+
+	// Balance configures the dynamic load balancer. Any mode other
+	// than off forces an x-only decomposition (PX = NRanks) and
+	// requires fully periodic field boundaries (plane reshaping and
+	// re-binned resume reconstruct ghost state collectively, which the
+	// absorbing-wall state machine does not support).
+	Balance BalanceConfig
 
 	// NoOverlap disables communication/computation overlap: every
 	// exchange runs on the synchronous blocking paths and the time step
@@ -171,6 +203,37 @@ func (c *Config) Validate() error {
 	}
 	if c.CleanInterval > 0 && c.CleanPasses == 0 {
 		c.CleanPasses = 2
+	}
+	if c.Balance.Interval == 0 {
+		c.Balance.Interval = 10
+	}
+	if c.Balance.Interval < 1 {
+		return fmt.Errorf("core: Balance.Interval %d must be ≥ 1", c.Balance.Interval)
+	}
+	if c.Balance.Threshold == 0 {
+		c.Balance.Threshold = 1.25
+	}
+	if c.Balance.Threshold < 1 {
+		return fmt.Errorf("core: Balance.Threshold %g must be ≥ 1", c.Balance.Threshold)
+	}
+	if c.Balance.Window == 0 {
+		c.Balance.Window = 5
+	}
+	if c.Balance.Window < 1 {
+		return fmt.Errorf("core: Balance.Window %d must be ≥ 1", c.Balance.Window)
+	}
+	if c.Balance.Mode != balance.Off {
+		for axis := 0; axis < 3; axis++ {
+			if c.FieldBC[2*axis] != field.Periodic {
+				return fmt.Errorf("core: balance mode %s requires fully periodic boundaries (axis %d is not)", c.Balance.Mode, axis)
+			}
+		}
+		if c.NX < c.NRanks {
+			return fmt.Errorf("core: balance mode %s needs NX ≥ NRanks (%d < %d)", c.Balance.Mode, c.NX, c.NRanks)
+		}
+		if c.CutsX != nil && len(c.CutsX) != c.NRanks+1 {
+			return fmt.Errorf("core: balance mode %s needs %d x-cuts (x-only decomposition), got %d", c.Balance.Mode, c.NRanks+1, len(c.CutsX))
+		}
 	}
 	return nil
 }

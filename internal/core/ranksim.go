@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"govpic/internal/balance"
 	"govpic/internal/diag"
 	"govpic/internal/domain"
 	"govpic/internal/mp"
@@ -61,6 +62,9 @@ func (rs *RankSim) Step() {
 	rs.Rank.stepOnce(&rs.Cfg, rs.time, rs.step, doClean)
 	rs.step++
 	rs.time += rs.Cfg.DT
+	if rs.Cfg.Balance.Mode == balance.Online && rs.step%rs.Cfg.Balance.Interval == 0 {
+		rs.Rank.maybeReshapeX(&rs.Cfg)
+	}
 }
 
 // Run advances n steps.
@@ -133,3 +137,32 @@ func (rs *RankSim) CommTraffic() []domain.ClassStat { return rs.Rank.D.ClassTraf
 
 // PerfBreakdown returns this rank's kernel timings.
 func (rs *RankSim) PerfBreakdown() perf.Breakdown { return rs.Rank.Perf }
+
+// PerRankParticles returns every rank's particle count in rank order —
+// a collective (one float64 allreduce); all ranks receive the same
+// vector.
+func (rs *RankSim) PerRankParticles() []int {
+	one := make([]float64, rs.comm.Size())
+	for _, sp := range rs.Rank.Species {
+		one[rs.comm.Rank()] += float64(sp.Buf.N())
+	}
+	tot := rs.comm.AllreduceSumF64s(one)
+	out := make([]int, len(tot))
+	for i, v := range tot {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// ImbalanceRatio returns the max/mean of per-rank cumulative push
+// seconds — a collective; every rank receives the same value.
+func (rs *RankSim) ImbalanceRatio() float64 {
+	one := make([]float64, rs.comm.Size())
+	one[rs.comm.Rank()] = rs.Rank.Perf.Elapsed(perf.Push).Seconds()
+	return balance.MaxOverMean(rs.comm.AllreduceSumF64s(one))
+}
+
+// CutsX returns the current x-plane cuts (a copy).
+func (rs *RankSim) CutsX() []int {
+	return append([]int(nil), rs.Rank.D.Cfg.Layout.CX...)
+}

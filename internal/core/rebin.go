@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"govpic/internal/balance"
+	"govpic/internal/field"
+	"govpic/internal/grid"
+	"govpic/internal/particle"
+)
+
+// Resume-into-new-geometry: RestoreRebin streams a checkpoint written
+// under any rank layout and scatters its interior cells and particles
+// to whichever rank owns them under the current layout. Only interior
+// state is carried — ghost planes, boundary aliases and interpolators
+// are derived data and are reconstructed collectively afterward, which
+// is why the re-binned path requires fully periodic boundaries (the
+// absorbing-wall state machine keeps history the stream does not
+// carry). The re-binned state is physics-identical to the source: the
+// geometry-canonical digest (CanonicalDigest) is preserved bit-for-bit
+// across the re-bin, even though per-rank byte layouts differ.
+
+// RestoreRebin loads a checkpoint into the simulation regardless of
+// the layout it was written under, re-binning cells and particles into
+// the current decomposition. The global grid and species list must
+// match (else *GeometryMismatchError).
+func (s *Simulation) RestoreRebin(r io.Reader) error {
+	if err := requirePeriodic(&s.Cfg); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	hd, c, h, err := readCheckpointHeader(br)
+	if err != nil {
+		return err
+	}
+	if err := checkGeometry(hd, &s.Cfg); err != nil {
+		return err
+	}
+	if err := rebinScatter(c, &s.Cfg, hd.layout, s.Ranks[0].D.Cfg.Layout,
+		func(r int) *Rank { return s.Ranks[r] }); err != nil {
+		return err
+	}
+	if err := verifyTrailer(br, h); err != nil {
+		return err
+	}
+	s.step = hd.step
+	s.time = hd.time
+	s.onAllRanks(func(rk *Rank) { rk.rebinPrime() })
+	return nil
+}
+
+// Restore loads a checkpoint into this rank of a distributed world,
+// accepting any recorded layout: cells and particles are re-binned to
+// their owners under the current layout (for a matching layout that is
+// the identity on interior state). Every rank must call it
+// concurrently — the ghost reconstruction is collective. Each rank
+// streams the whole file, keeping only what it owns.
+func (rs *RankSim) Restore(r io.Reader) error {
+	if err := requirePeriodic(&rs.Cfg); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	hd, c, h, err := readCheckpointHeader(br)
+	if err != nil {
+		return err
+	}
+	if err := checkGeometry(hd, &rs.Cfg); err != nil {
+		return err
+	}
+	me := rs.Rank.D.Rank
+	if err := rebinScatter(c, &rs.Cfg, hd.layout, rs.Rank.D.Cfg.Layout,
+		func(r int) *Rank {
+			if r == me {
+				return rs.Rank
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+	if err := verifyTrailer(br, h); err != nil {
+		return err
+	}
+	rs.step = hd.step
+	rs.time = hd.time
+	rs.Rank.rebinPrime()
+	return nil
+}
+
+func requirePeriodic(cfg *Config) error {
+	for axis := 0; axis < 3; axis++ {
+		if cfg.FieldBC[2*axis] != field.Periodic {
+			return fmt.Errorf("core: re-binned restore requires fully periodic boundaries (axis %d is not)", axis)
+		}
+	}
+	return nil
+}
+
+// rebinScatter streams every recorded rank's payload from c and
+// delivers interior cells and particles to the current owner's Rank
+// (rankAt returns nil for ranks this process does not host — their
+// share of the stream is consumed and dropped). Target particle
+// buffers are cleared first; target field interiors are fully
+// overwritten because the recorded tiles cover the global grid
+// exactly once.
+func rebinScatter(c *cpReader, cfg *Config, rec, cur grid.Layout, rankAt func(int) *Rank) error {
+	hosted := make([]*Rank, cur.Dec.NRanks())
+	for r := range hosted {
+		if rk := rankAt(r); rk != nil {
+			hosted[r] = rk
+			for _, sp := range rk.Species {
+				sp.Buf.Clear()
+			}
+			rk.rho0 = nil
+		}
+	}
+	for rr := 0; rr < rec.Dec.NRanks(); rr++ {
+		rg, err := rec.Local(rr, cfg.DX, cfg.DY, cfg.DZ, cfg.X0, cfg.Y0, cfg.Z0)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint rank %d tile invalid: %w", rr, err)
+		}
+		gx0, gy0, gz0 := rec.Origin(rr)
+		nv := rg.NV()
+		fields := make([][]float32, 9)
+		for i := range fields {
+			fields[i] = make([]float32, nv)
+			c.f32s(fields[i])
+		}
+		var rho0 []float32
+		if c.u64() == 1 {
+			rho0 = make([]float32, nv)
+			c.f32s(rho0)
+		}
+		if c.err != nil {
+			return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
+		}
+		// Scatter interior cells. Ownership along each axis is constant
+		// within a destination slab, so resolve the owner per x-plane
+		// and only refine on y/z when those axes are split.
+		for iz := 1; iz <= rg.NZ; iz++ {
+			for iy := 1; iy <= rg.NY; iy++ {
+				for ix := 1; ix <= rg.NX; ix++ {
+					gx, gy, gz := gx0+ix-1, gy0+iy-1, gz0+iz-1
+					rk := hosted[cur.RankOfCell(gx, gy, gz)]
+					if rk == nil {
+						continue
+					}
+					ox, oy, oz := cur.Origin(rk.D.Rank)
+					v := rk.D.G.Voxel(gx-ox+1, gy-oy+1, gz-oz+1)
+					src := rg.Voxel(ix, iy, iz)
+					f := rk.D.F
+					for ai, a := range [][]float32{f.Ex, f.Ey, f.Ez, f.Bx, f.By, f.Bz, f.Jx, f.Jy, f.Jz} {
+						a[v] = fields[ai][src]
+					}
+					if rho0 != nil {
+						if rk.rho0 == nil {
+							rk.rho0 = make([]float32, rk.D.G.NV())
+						}
+						rk.rho0[v] = rho0[src]
+					}
+				}
+			}
+		}
+		// Scatter particles by their global cell.
+		tmp := make([]float32, 3)
+		tmp2 := make([]float32, 4)
+		for si := 0; si < len(cfg.Species); si++ {
+			n := int(c.u64())
+			if c.err != nil {
+				return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
+			}
+			for i := 0; i < n; i++ {
+				var p particle.Particle
+				c.f32s(tmp)
+				p.Dx, p.Dy, p.Dz = tmp[0], tmp[1], tmp[2]
+				vox := int(uint32(c.u64()))
+				c.f32s(tmp2)
+				p.Ux, p.Uy, p.Uz, p.W = tmp2[0], tmp2[1], tmp2[2], tmp2[3]
+				if c.err != nil {
+					return fmt.Errorf("core: checkpoint truncated or unreadable: %w", c.err)
+				}
+				ix, iy, iz := rg.Unvoxel(vox)
+				gx, gy, gz := gx0+ix-1, gy0+iy-1, gz0+iz-1
+				rk := hosted[cur.RankOfCell(gx, gy, gz)]
+				if rk == nil {
+					continue
+				}
+				ox, oy, oz := cur.Origin(rk.D.Rank)
+				p.Voxel = int32(rk.D.G.Voxel(gx-ox+1, gy-oy+1, gz-oz+1))
+				rk.Species[si].Buf.Append(p)
+			}
+		}
+	}
+	return nil
+}
+
+// rebinPrime reconstructs a rank's derived state after its interior
+// was re-binned: E/B boundary and ghost planes (local wraps, then
+// remote exchange), the neutralizing background's ghost aliases, and
+// the interpolators. J's ghost planes are left as-is — the next step
+// clears and re-deposits J before any read. Collective: every rank of
+// the world must call it concurrently.
+func (rk *Rank) rebinPrime() {
+	f := rk.D.F
+	f.UpdateGhostE()
+	f.UpdateGhostB()
+	rk.D.ExchangeGhostE()
+	rk.D.ExchangeGhostB()
+	if rk.rho0 != nil {
+		f.FillNodeGhost(rk.rho0)
+		rk.D.ExchangeScalarGhost(rk.rho0)
+	}
+	rk.IP.Load(f)
+}
+
+// Rebalanced implements Tier A (checkpoint-boundary rebalancing) for
+// an in-process simulation: when the particle-count imbalance of the
+// current layout exceeds the configured threshold and the
+// bisection-optimal layout differs, the state is checkpointed to
+// memory, a simulation pinned to the new layout is built, and the
+// state is re-binned into it. Returns the (possibly new) simulation
+// and whether a rebalance happened. The caller must drop the old
+// simulation and continue on the returned one; cumulative counters
+// (perf, pushed particles, comm bytes) stay with the old simulation,
+// so drivers accumulate them across swaps.
+func Rebalanced(s *Simulation) (*Simulation, bool, error) {
+	if s.Cfg.Balance.Mode == balance.Off {
+		return s, false, nil
+	}
+	lay := s.Ranks[0].D.Cfg.Layout
+	if lay.Dec.PX < 2 {
+		return s, false, nil
+	}
+	counts := s.planeCountsX()
+	if balance.Imbalance(counts, lay.CX) < s.Cfg.Balance.Threshold {
+		return s, false, nil
+	}
+	target := balance.BisectCuts(counts, lay.Dec.PX)
+	if balance.CutsEqual(target, lay.CX) {
+		return s, false, nil
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		return s, false, err
+	}
+	cfg2 := s.Cfg
+	cfg2.CutsX = target
+	s2, err := New(cfg2)
+	if err != nil {
+		return s, false, err
+	}
+	if err := s2.RestoreRebin(bytes.NewReader(buf.Bytes())); err != nil {
+		return s, false, err
+	}
+	return s2, true, nil
+}
+
+// planeCountsX returns the global per-x-plane particle counts (the
+// balance weights), summed over all ranks and species.
+func (s *Simulation) planeCountsX() []float64 {
+	counts := make([]float64, s.Cfg.NX)
+	for _, rk := range s.Ranks {
+		rk.addPlaneCountsX(counts)
+	}
+	return counts
+}
+
+// addPlaneCountsX accumulates this rank's particles into the global
+// per-x-plane histogram.
+func (rk *Rank) addPlaneCountsX(counts []float64) {
+	gx0, _, _ := rk.D.Cfg.Layout.Origin(rk.D.Rank)
+	g := rk.D.G
+	for _, sp := range rk.Species {
+		buf := sp.Buf
+		n := buf.N()
+		for i := 0; i < n; i++ {
+			ix, _, _ := g.Unvoxel(int(buf.Voxel(i)))
+			counts[gx0+ix-1]++
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"govpic/internal/accum"
+	"govpic/internal/balance"
 	"govpic/internal/collision"
 	"govpic/internal/diag"
 	"govpic/internal/domain"
@@ -114,17 +115,42 @@ func New(cfg Config) (*Simulation, error) {
 // DomainConfig derives the decomposed-domain configuration (including
 // the rank decomposition) from a validated simulation config. Every
 // rank of a world — in-process or distributed — must derive the same
-// one, so loading stays decomposition-invariant.
+// one, so loading stays decomposition-invariant. A pinned CutsX or an
+// active balance mode switches to an x-slab decomposition whose x
+// extent need not divide evenly (the cuts place the planes); otherwise
+// the classic even-divisibility chooser runs, so existing decks keep
+// their exact decomposition.
 func DomainConfig(cfg *Config) (domain.Config, error) {
-	dec, err := grid.ChooseDecomp(cfg.NRanks, cfg.NX, cfg.NY, cfg.NZ)
+	px := 0
+	if cfg.CutsX != nil {
+		px = len(cfg.CutsX) - 1
+	} else if cfg.Balance.Mode != balance.Off {
+		px = cfg.NRanks
+	}
+	var dec grid.Decomp
+	var err error
+	if px > 0 {
+		dec, err = grid.ChooseDecompFixedPX(cfg.NRanks, px, cfg.NX, cfg.NY, cfg.NZ)
+	} else {
+		dec, err = grid.ChooseDecomp(cfg.NRanks, cfg.NX, cfg.NY, cfg.NZ)
+	}
 	if err != nil {
 		return domain.Config{}, err
 	}
-	return domain.Config{
+	dcfg := domain.Config{
 		Dec: dec, DX: cfg.DX, DY: cfg.DY, DZ: cfg.DZ,
 		X0: cfg.X0, Y0: cfg.Y0, Z0: cfg.Z0,
 		FieldBC: cfg.FieldBC, ParticleBC: cfg.ParticleBC,
-	}, nil
+	}
+	if cfg.CutsX != nil {
+		uni := grid.Uniform(dec)
+		lay, err := grid.NewLayout(dec, cfg.CutsX, uni.CY, uni.CZ)
+		if err != nil {
+			return domain.Config{}, err
+		}
+		dcfg.Layout = lay
+	}
+	return dcfg, nil
 }
 
 // newRank builds one rank's tile: domain, kernels, species loading
@@ -336,6 +362,9 @@ func (s *Simulation) Step() {
 	})
 	s.step++
 	s.time += s.Cfg.DT
+	if s.Cfg.Balance.Mode == balance.Online && s.step%s.Cfg.Balance.Interval == 0 {
+		s.onAllRanks(func(rk *Rank) { rk.maybeReshapeX(&s.Cfg) })
+	}
 }
 
 // Run advances n steps.
@@ -676,6 +705,37 @@ func (s *Simulation) TotalParticles() int {
 		}
 	}
 	return n
+}
+
+// PerRankParticles returns each rank's resident particle count (all
+// species), in rank order — the load balancer's observability surface.
+func (s *Simulation) PerRankParticles() []int {
+	out := make([]int, len(s.Ranks))
+	for r, rk := range s.Ranks {
+		for _, sp := range rk.Species {
+			out[r] += sp.Buf.N()
+		}
+	}
+	return out
+}
+
+// ImbalanceRatio returns the max/mean of per-rank cumulative push
+// seconds — the measured critical-path imbalance (1 for a single rank
+// or before any pushing). Decisions use particle counts; this is the
+// observable the counts stand in for.
+func (s *Simulation) ImbalanceRatio() float64 {
+	secs := make([]float64, len(s.Ranks))
+	for r, rk := range s.Ranks {
+		secs[r] = rk.Perf.Elapsed(perf.Push).Seconds()
+	}
+	return balance.MaxOverMean(secs)
+}
+
+// CutsX returns the current x-plane cuts (a copy): feed it back through
+// Config.CutsX to rebuild this exact geometry, e.g. when resuming a
+// rebalanced checkpoint bit-exactly.
+func (s *Simulation) CutsX() []int {
+	return append([]int(nil), s.Ranks[0].D.Cfg.Layout.CX...)
 }
 
 // Flops returns the global inner-loop flop count so far.

@@ -69,6 +69,51 @@ func Thermal(nx, ny, nz, ppc, nRanks int, n0, uth float64) Deck {
 	}
 }
 
+// Spike returns a periodic thermal plasma whose density is a narrow
+// truncated-Gaussian filament in x — the imbalance-adversarial workload
+// for the dynamic load balancer. Cells beyond 3σ of the filament center
+// are vacuum and load no macro-particles, so nearly every particle
+// lives in the ~6σ of planes around 0.6·Lx: a static uniform x-split
+// leaves one rank owning almost the whole push while its peers idle
+// (max/mean approaches the rank count). Physics-wise it is just a warm
+// filament — no drive, no instability on smoke-test timescales — so
+// balanced and static runs must agree on the energy history.
+func Spike(nx, ny, nz, ppc, nRanks int, n0, uth float64) Deck {
+	cfg := core.Config{
+		NX: nx, NY: ny, NZ: nz,
+		DX: 0.5, DY: 0.5, DZ: 0.5,
+		NRanks:     nRanks,
+		ParticleBC: allWrap,
+		Species: []core.SpeciesConfig{{
+			Name: "electron", Q: -1, M: 1, SortInterval: 20,
+			Load: &loader.Params{
+				Profile: spikeProfile(n0, 0.6*float64(nx)*0.5, 0.03*float64(nx)*0.5),
+				PPC:     ppc, Nref: n0,
+				Uth: [3]float64{uth, uth, uth}, Seed: 20080415,
+			},
+		}},
+		NeutralizingBackground: true,
+	}
+	cfg.DT = cfg.CourantDT(0.7)
+	return Deck{
+		Name:  "spike",
+		Cfg:   cfg,
+		Notes: map[string]float64{"wpe": math.Sqrt(n0)},
+	}
+}
+
+// spikeProfile is a truncated Gaussian filament: n0·exp(−½d²) for
+// d = (x−xc)/σ within 3σ, vacuum outside.
+func spikeProfile(n0, xc, sigma float64) loader.Profile {
+	return func(x, y, z float64) float64 {
+		d := (x - xc) / sigma
+		if d*d > 9 {
+			return 0
+		}
+		return n0 * math.Exp(-0.5*d*d)
+	}
+}
+
 // PlasmaOscillation returns a cold quasi-1D plasma ringing at ωpe: the
 // quickstart example.
 func PlasmaOscillation(nx, ppc int, n0 float64) Deck {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"govpic/internal/balance"
 	"govpic/internal/core"
 	"govpic/internal/units"
 )
@@ -55,6 +56,11 @@ type JSONConfig struct {
 	// Collisions (applied to the first species).
 	CollisionNu0      float64 `json:"collision_nu0,omitempty"`
 	CollisionInterval int     `json:"collision_interval,omitempty"`
+
+	// Dynamic load balancing (DESIGN §13): off | checkpoint | online.
+	Balance          string  `json:"balance,omitempty"`
+	BalanceInterval  int     `json:"balance_interval,omitempty"`
+	BalanceThreshold float64 `json:"balance_threshold,omitempty"`
 }
 
 // FromJSON parses a config and builds its deck, returning the requested
@@ -107,6 +113,8 @@ func (c JSONConfig) Build() (Deck, error) {
 	switch c.Deck {
 	case "thermal":
 		d = Thermal(nx, 4, 4, ppc, ranks, n0, uth)
+	case "spike":
+		d = Spike(nx, 8, 8, ppc, ranks, n0, uth)
 	case "oscillation":
 		d = PlasmaOscillation(nx, ppc, deff(c.N0, 0.25))
 	case "twostream":
@@ -161,5 +169,14 @@ func (c JSONConfig) Build() (Deck, error) {
 	if c.Overlap != nil {
 		d.Cfg.NoOverlap = !*c.Overlap
 	}
+	if c.Balance != "" {
+		mode, err := balance.ParseMode(c.Balance)
+		if err != nil {
+			return Deck{}, fmt.Errorf("deck: %w", err)
+		}
+		d.Cfg.Balance.Mode = mode
+	}
+	d.Cfg.Balance.Interval = c.BalanceInterval   // 0 = default
+	d.Cfg.Balance.Threshold = c.BalanceThreshold // 0 = default
 	return d, err
 }

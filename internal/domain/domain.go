@@ -20,7 +20,11 @@ import (
 
 // Config describes the global simulation domain.
 type Config struct {
-	Dec        grid.Decomp
+	Dec grid.Decomp
+	// Layout optionally places the partition planes non-uniformly (the
+	// dynamic load balancer's handle). Zero value (nil cuts) means the
+	// uniform division of Dec; when set, its Dec takes precedence.
+	Layout     grid.Layout
 	DX, DY, DZ float64
 	X0, Y0, Z0 float64
 	// FieldBC holds the global field boundary conditions per face.
@@ -39,6 +43,7 @@ const (
 	tagFoldS  = 5 << 10
 	tagGhostS = 6 << 10
 	tagPart   = 7 << 10
+	tagRebal  = 8 << 10
 )
 
 // Domain is one rank's tile.
@@ -70,11 +75,16 @@ type Domain struct {
 
 // New builds rank comm.Rank()'s tile of the global domain.
 func New(cfg Config, comm *mp.Comm) (*Domain, error) {
+	if cfg.Layout.CX == nil {
+		cfg.Layout = grid.Uniform(cfg.Dec)
+	} else {
+		cfg.Dec = cfg.Layout.Dec
+	}
 	if cfg.Dec.NRanks() != comm.Size() {
 		return nil, fmt.Errorf("domain: decomposition has %d ranks, world has %d", cfg.Dec.NRanks(), comm.Size())
 	}
 	rank := comm.Rank()
-	g, err := cfg.Dec.Local(rank, cfg.DX, cfg.DY, cfg.DZ, cfg.X0, cfg.Y0, cfg.Z0)
+	g, err := cfg.Layout.Local(rank, cfg.DX, cfg.DY, cfg.DZ, cfg.X0, cfg.Y0, cfg.Z0)
 	if err != nil {
 		return nil, err
 	}
@@ -459,12 +469,14 @@ func (d *Domain) BeginParticleExchange(kernels []*push.Kernel, bufs []*particle.
 			if d.remote[lo] {
 				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[lo]...))
 				k.Out[lo] = k.Out[lo][:0]
+				d.encodeWire(out, axis)
 				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
 				x.sends = append(x.sends, partSend{dst: d.nbr[lo], tag: tagPart + 16*s + int(lo), out: out})
 			}
 			if d.remote[hi] {
 				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[hi]...))
 				k.Out[hi] = k.Out[hi][:0]
+				d.encodeWire(out, axis)
 				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
 				x.sends = append(x.sends, partSend{dst: d.nbr[hi], tag: tagPart + 16*s + int(hi), out: out})
 			}
@@ -495,20 +507,13 @@ func (d *Domain) BeginParticleExchange(kernels []*push.Kernel, bufs []*particle.
 // later axis while landing) are settled with synchronous sweeps.
 func (x *ParticleExchange) Complete() {
 	d := x.d
-	g := d.G
-	n := [3]int{g.NX, g.NY, g.NZ}
-	strides := [3]int{}
-	strides[0] = 1
-	sx, sy, _ := g.Strides()
-	strides[1], strides[2] = sx, sx*sy
-
 	if d.Overlap {
 		for _, pr := range x.recvs {
 			data, err := pr.req.Wait()
 			if err != nil {
 				panic(err)
 			}
-			d.landParticles(x.kernels[pr.species], x.bufs[pr.species], data.(push.OutgoingBatch), pr.axis, pr.entry, n, strides)
+			d.landParticles(x.kernels[pr.species], x.bufs[pr.species], data.(push.OutgoingBatch), pr.axis, pr.entry)
 		}
 		waitAll(x.sreqs)
 	} else {
@@ -517,7 +522,7 @@ func (x *ParticleExchange) Complete() {
 		}
 		for _, pr := range x.recvs {
 			in := d.Comm.Recv(pr.src, pr.tag).(push.OutgoingBatch)
-			d.landParticles(x.kernels[pr.species], x.bufs[pr.species], in, pr.axis, pr.entry, n, strides)
+			d.landParticles(x.kernels[pr.species], x.bufs[pr.species], in, pr.axis, pr.entry)
 		}
 	}
 	x.settleResidual()
@@ -553,11 +558,6 @@ func (x *ParticleExchange) settleResidual() {
 func (d *Domain) exchangeParticlesSweep(kernels []*push.Kernel, bufs []*particle.Buffer) {
 	g := d.G
 	n := [3]int{g.NX, g.NY, g.NZ}
-	strides := [3]int{}
-	strides[0] = 1
-	sx, sy, _ := g.Strides()
-	strides[1], strides[2] = sx, sx*sy
-
 	for axis := 0; axis < 3; axis++ {
 		lo, hi := field.Face(2*axis), field.Face(2*axis+1)
 		for s, k := range kernels {
@@ -566,12 +566,14 @@ func (d *Domain) exchangeParticlesSweep(kernels []*push.Kernel, bufs []*particle
 			if d.remote[lo] {
 				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[lo]...))
 				k.Out[lo] = k.Out[lo][:0]
+				d.encodeWire(out, axis)
 				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
 				d.Comm.Send(d.nbr[lo], tagPart+16*s+int(lo), out)
 			}
 			if d.remote[hi] {
 				out := push.OutgoingBatch(append([]push.Outgoing(nil), k.Out[hi]...))
 				k.Out[hi] = k.Out[hi][:0]
+				d.encodeWire(out, axis)
 				d.countSend(tagPart, len(out)*push.OutgoingWireBytes)
 				d.Comm.Send(d.nbr[hi], tagPart+16*s+int(hi), out)
 			}
@@ -579,26 +581,100 @@ func (d *Domain) exchangeParticlesSweep(kernels []*push.Kernel, bufs []*particle
 			// exchangeGhost). The low neighbor sent through its hi face.
 			if d.remote[hi] {
 				in := d.Comm.Recv(d.nbr[hi], tagPart+16*s+int(lo)).(push.OutgoingBatch)
-				d.landParticles(k, bufs[s], in, axis, n[axis], n, strides)
+				d.landParticles(k, bufs[s], in, axis, n[axis])
 			}
 			if d.remote[lo] {
 				in := d.Comm.Recv(d.nbr[lo], tagPart+16*s+int(hi)).(push.OutgoingBatch)
-				d.landParticles(k, bufs[s], in, axis, 1, n, strides)
+				d.landParticles(k, bufs[s], in, axis, 1)
 			}
 		}
+	}
+}
+
+// WireVoxel encodes a local voxel for migration across the given axis:
+// the particle's *transverse* index on the crossing plane. Partition
+// cuts are global planes, so the two transverse strides always match
+// between the sender and the receiver — even when the tiles differ
+// along the crossing axis, as they do under a non-uniform balanced
+// layout — while a full 3D voxel would decode wrongly whenever the
+// crossing-axis extents differ.
+func WireVoxel(g *grid.Grid, axis, voxel int) int32 {
+	ix, iy, iz := g.Unvoxel(voxel)
+	sx, sy, _ := g.Strides()
+	switch axis {
+	case 0:
+		return int32(iy + sy*iz)
+	case 1:
+		return int32(ix + sx*iz)
+	default:
+		return int32(ix + sx*iy)
+	}
+}
+
+// LandVoxel decodes a WireVoxel-encoded arrival onto the receiver's
+// entry plane on the crossing axis.
+func LandVoxel(g *grid.Grid, axis, entry int, wire int32) int32 {
+	sx, sy, _ := g.Strides()
+	t := int(wire)
+	var ix, iy, iz int
+	switch axis {
+	case 0:
+		ix, iy, iz = entry, t%sy, t/sy
+	case 1:
+		ix, iy, iz = t%sx, entry, t/sx
+	default:
+		ix, iy, iz = t%sx, t/sx, entry
+	}
+	return int32(g.Voxel(ix, iy, iz))
+}
+
+// encodeWire rewrites a snapshotted outgoing batch's voxels to the
+// transverse wire encoding for the given crossing axis.
+func (d *Domain) encodeWire(out []push.Outgoing, axis int) {
+	for i := range out {
+		out[i].P.Voxel = WireVoxel(d.G, axis, int(out[i].P.Voxel))
 	}
 }
 
 // landParticles remaps arrivals onto this rank's entry cells on the
 // given axis (entry index 1 when coming from the low side, N when coming
 // from the high side) and finishes their moves.
-func (d *Domain) landParticles(k *push.Kernel, buf *particle.Buffer, in []push.Outgoing, axis, entry int, n, strides [3]int) {
+func (d *Domain) landParticles(k *push.Kernel, buf *particle.Buffer, in []push.Outgoing, axis, entry int) {
 	g := d.G
 	for _, o := range in {
-		ix, iy, iz := g.Unvoxel(int(o.P.Voxel))
-		c := [3]int{ix, iy, iz}
-		c[axis] = entry
-		o.P.Voxel = int32(g.Voxel(c[0], c[1], c[2]))
+		o.P.Voxel = LandVoxel(g, axis, entry, o.P.Voxel)
 		k.FinishMove(buf, o)
 	}
+}
+
+// Rebalance transfers: when the load balancer moves an x-partition
+// plane by one cell, the donating rank ships the plane's field state
+// and resident particles to the receiving neighbor under the tagRebal
+// window. Sequence numbers inside the window disambiguate the two
+// directions when both neighbors are the same rank (PX=2 on a periodic
+// axis): seq identifies which cut the payload crosses and what it
+// carries, so both ends post matching tags on the shared in-order link.
+
+// ISendRebalPlane packs x-plane idx of arrs (full ghost-inclusive
+// transverse extent, the exchangeGhost plane format) and posts it to
+// dst under rebalance sequence seq.
+func (d *Domain) ISendRebalPlane(dst, seq int, arrs [][]float32, idx int) *mp.Request {
+	return d.isend(dst, tagRebal+seq, arrs, 0, idx)
+}
+
+// RecvRebalPlane receives a rebalance plane into x-plane idx of arrs.
+func (d *Domain) RecvRebalPlane(src, seq int, arrs [][]float32, idx int) {
+	d.recvInto(src, tagRebal+seq, arrs, 0, idx)
+}
+
+// ISendRebalParticles posts a batch of plane residents to dst. The
+// batch voxels must already be wire-encoded (WireVoxel, axis 0).
+func (d *Domain) ISendRebalParticles(dst, seq int, out push.OutgoingBatch) *mp.Request {
+	d.countSend(tagRebal, len(out)*push.OutgoingWireBytes)
+	return d.Comm.ISend(dst, tagRebal+seq, out)
+}
+
+// RecvRebalParticles receives one plane-resident batch.
+func (d *Domain) RecvRebalParticles(src, seq int) push.OutgoingBatch {
+	return d.Comm.Recv(src, tagRebal+seq).(push.OutgoingBatch)
 }

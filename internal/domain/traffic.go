@@ -13,11 +13,12 @@ const (
 	ClassFoldScalar
 	ClassGhostScalar
 	ClassParticles
+	ClassRebalance
 	NumCommClasses
 )
 
 var classNames = [NumCommClasses]string{
-	"ghostE", "ghostB", "foldJ", "ghostJ", "foldScalar", "ghostScalar", "particles",
+	"ghostE", "ghostB", "foldJ", "ghostJ", "foldScalar", "ghostScalar", "particles", "rebalance",
 }
 
 func (c CommClass) String() string {

@@ -354,6 +354,26 @@ func (c *Comm) AllreduceMax(x float64) float64 {
 	}).(float64)
 }
 
+// AllreduceSumF64s returns the element-wise sum of x over all ranks,
+// on every rank. Every rank must pass the same length; the sum is
+// applied in rank order, so the result is bit-identical however the
+// world is laid out. The load balancer uses it to agree on the global
+// per-plane particle weights before a deterministic repartition.
+func (c *Comm) AllreduceSumF64s(x []float64) []float64 {
+	out := c.allreduce(append([]float64(nil), x...), func(xs []any) any {
+		s := make([]float64, len(x))
+		for _, v := range xs {
+			for i, f := range v.([]float64) {
+				s[i] += f
+			}
+		}
+		return s
+	}).([]float64)
+	// The in-process transport hands every rank the same reduced
+	// object; copy so callers own their result.
+	return append([]float64(nil), out...)
+}
+
 // AllreduceSumInt returns the integer sum of x over all ranks.
 func (c *Comm) AllreduceSumInt(x int64) int64 {
 	return c.allreduce(x, func(xs []any) any {

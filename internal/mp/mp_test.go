@@ -106,6 +106,26 @@ func TestAllreduceMax(t *testing.T) {
 	})
 }
 
+func TestAllreduceSumF64s(t *testing.T) {
+	Run(4, func(c *Comm) {
+		in := []float64{float64(c.Rank()), 1, float64(c.Rank() * 10)}
+		got := c.AllreduceSumF64s(in)
+		want := []float64{6, 4, 60}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d: sum[%d] = %g, want %g", c.Rank(), i, got[i], want[i])
+			}
+		}
+		// Each rank must own its result: a write here must not be
+		// visible to other ranks' copies.
+		got[0] = float64(-c.Rank())
+		again := c.AllreduceSumF64s(in)
+		if again[0] != 6 {
+			t.Errorf("rank %d: result aliased across ranks: %g", c.Rank(), again[0])
+		}
+	})
+}
+
 func TestAllreduceSumInt(t *testing.T) {
 	Run(4, func(c *Comm) {
 		if got := c.AllreduceSumInt(int64(c.Rank())); got != 6 {

@@ -98,7 +98,13 @@ type BenchRecord struct {
 	Sections           []BenchSection    `json:"sections"`
 	CommTraffic        []CommClassRecord `json:"comm_traffic,omitempty"` // sent bytes per exchange class
 	CommLinks          []CommLinkRecord  `json:"comm_links,omitempty"`   // per rank-pair link counters
-	Written            time.Time         `json:"written"`
+	// Multi-rank load-balance observability: max/mean per-rank push
+	// seconds, the final per-rank particle counts, and the balance mode
+	// the run used (off | checkpoint | online).
+	ImbalanceRatio   float64   `json:"imbalance_ratio,omitempty"`
+	PerRankParticles []int     `json:"per_rank_particles,omitempty"`
+	Balance          string    `json:"balance,omitempty"`
+	Written          time.Time `json:"written"`
 }
 
 // WriteBench emits the record as indented JSON.

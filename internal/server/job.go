@@ -65,6 +65,12 @@ type Job struct {
 	// ranks; zero for single-rank jobs).
 	CommWaitSeconds    float64 `json:"comm_wait_seconds,omitempty"`
 	CommOverlapSeconds float64 `json:"comm_overlap_seconds,omitempty"`
+	// PerRankParticles and ImbalanceRatio are the load balancer's
+	// observability surface for decomposed jobs: each rank's particle
+	// count and the max/mean per-rank push seconds. Published for every
+	// multi-rank job, balancing enabled or not.
+	PerRankParticles []int   `json:"per_rank_particles,omitempty"`
+	ImbalanceRatio   float64 `json:"imbalance_ratio,omitempty"`
 	// CheckpointStep is the step of the latest durable checkpoint (0 if
 	// none yet). The fleet coordinator watches it to mirror checkpoint
 	// artifacts for relocation.

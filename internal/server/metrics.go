@@ -27,6 +27,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	classBytes := map[string]int64{}
 	classMsgs := map[string]int64{}
 	var commWait, commOverlap float64
+	type rankCount struct {
+		job  string
+		rank int
+		n    int
+	}
+	var imbalance []struct {
+		job   string
+		ratio float64
+	}
+	var rankCounts []rankCount
 	for _, j := range s.jobs {
 		switch j.State {
 		case StateRunning:
@@ -51,6 +61,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		commWait += j.CommWaitSeconds
 		commOverlap += j.CommOverlapSeconds
+		if j.ImbalanceRatio > 0 {
+			imbalance = append(imbalance, struct {
+				job   string
+				ratio float64
+			}{j.ID, j.ImbalanceRatio})
+		}
+		for r, n := range j.PerRankParticles {
+			rankCounts = append(rankCounts, rankCount{j.ID, r, n})
+		}
 	}
 	lines := []string{
 		"vpicd_up 1",
@@ -124,6 +143,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		lines = append(lines,
 			fmt.Sprintf("vpicd_comm_class_bytes_total{class=%q} %d", name, classBytes[name]),
 			fmt.Sprintf("vpicd_comm_class_msgs_total{class=%q} %d", name, classMsgs[name]))
+	}
+	// Load-balance observability: the measured push-time imbalance and
+	// each rank's particle count per decomposed job (job-ID order).
+	sort.Slice(imbalance, func(a, b int) bool { return imbalance[a].job < imbalance[b].job })
+	for _, im := range imbalance {
+		lines = append(lines, fmt.Sprintf("vpic_imbalance_ratio{job=%q} %.6f", im.job, im.ratio))
+	}
+	sort.Slice(rankCounts, func(a, b int) bool {
+		if rankCounts[a].job != rankCounts[b].job {
+			return rankCounts[a].job < rankCounts[b].job
+		}
+		return rankCounts[a].rank < rankCounts[b].rank
+	})
+	for _, rc := range rankCounts {
+		lines = append(lines, fmt.Sprintf("vpicd_rank_particles{job=%q,rank=\"%d\"} %d", rc.job, rc.rank, rc.n))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -9,7 +9,9 @@ import (
 	"os"
 	"time"
 
+	"govpic/internal/balance"
 	"govpic/internal/core"
+	"govpic/internal/deck"
 	"govpic/internal/diag"
 	"govpic/internal/output"
 	"govpic/internal/perf"
@@ -93,11 +95,15 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		s.hub.Publish(j.ID, hist.Samples[len(hist.Samples)-1])
 	}
 
-	// Resume from the latest checkpoint if the spool has one. A corrupt
-	// or truncated checkpoint (CRC-rejected) falls back to a fresh start:
-	// determinism makes re-running from step 0 merely slower, not wrong.
+	// Resume from the latest checkpoint if the spool has one. A
+	// checkpoint written under rebalanced partition planes restores via
+	// the layout-aware path (exact geometry when possible, re-binned
+	// otherwise). A corrupt or truncated checkpoint (CRC-rejected) falls
+	// back to a fresh start: determinism makes re-running from step 0
+	// merely slower, not wrong.
 	if f, oerr := os.Open(s.spool.checkpointPath(j.ID)); oerr == nil {
-		rerr := sim.Restore(f)
+		var rerr error
+		sim, rerr = s.restoreLayoutAware(j, d, sim, f)
 		f.Close()
 		if rerr != nil {
 			s.cfg.Logf("vpicd: %s checkpoint unusable (%v); restarting from step 0", j.ID, rerr)
@@ -134,6 +140,9 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	ckptEvery := s.cfg.CheckpointEvery
 	wallStart := time.Now()
 	basePushed := sim.PushedParticles()
+	// Tier A swaps discard the old simulation's cumulative counters;
+	// carry them so rates and totals stay monotonic across swaps.
+	var carryPushed int64
 	var ckptErr error
 
 	progress := func(step int) {
@@ -142,7 +151,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		if step%every == 0 || step == steps {
 			sample()
 		}
-		pushed := sim.PushedParticles()
+		pushed := carryPushed + sim.PushedParticles()
 		rate := perf.Rate(pushed-basePushed, time.Since(wallStart))
 		pb := sim.PerfBreakdown()
 		snap := pb.Snapshot()
@@ -158,6 +167,10 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		j.CommTraffic = sim.CommTraffic()
 		j.CommWaitSeconds = pb.CommWait().Seconds()
 		j.CommOverlapSeconds = pb.CommOverlap().Seconds()
+		if d.Cfg.NRanks > 1 {
+			j.PerRankParticles = sim.PerRankParticles()
+			j.ImbalanceRatio = sim.ImbalanceRatio()
+		}
 		j.pushed = pushed
 		s.mu.Unlock()
 		if step%ckptEvery == 0 && step < steps && ckptErr == nil {
@@ -165,7 +178,38 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		}
 	}
 
-	runErr := sim.RunContext(ctx, steps, progress)
+	// Tier A (checkpoint-boundary rebalancing): pause at every
+	// checkpoint interval, re-bin into a bisection-optimal layout when
+	// the particle imbalance crossed the threshold, and continue on the
+	// rebalanced simulation.
+	runSegments := func() error {
+		if d.Cfg.Balance.Mode != balance.Checkpoint || d.Cfg.NRanks < 2 {
+			return sim.RunContext(ctx, steps, progress)
+		}
+		for sim.StepCount() < steps {
+			next := sim.StepCount() + ckptEvery - sim.StepCount()%ckptEvery
+			if next > steps {
+				next = steps
+			}
+			if err := sim.RunContext(ctx, next, progress); err != nil {
+				return err
+			}
+			if sim.StepCount() >= steps {
+				return nil
+			}
+			sim2, did, err := core.Rebalanced(sim)
+			if err != nil {
+				return err
+			}
+			if did {
+				carryPushed += sim.PushedParticles()
+				sim = sim2
+				s.cfg.Logf("vpicd: %s rebalanced at step %d (cuts %v)", j.ID, sim.StepCount(), sim.CutsX())
+			}
+		}
+		return nil
+	}
+	runErr := runSegments()
 	if runErr != nil {
 		// Preemption or cancel: persist the exact stopping point first.
 		if err := s.saveCheckpoint(j, sim, hist); err != nil {
@@ -188,7 +232,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 			Ranks:     d.Cfg.NRanks,
 			WallClock: wall.Seconds(), // this process's segment for resumed jobs
 			Rates: map[string]float64{
-				"Mpart_per_s": perf.Rate(sim.PushedParticles()-basePushed, wall) / 1e6,
+				"Mpart_per_s": perf.Rate(carryPushed+sim.PushedParticles()-basePushed, wall) / 1e6,
 			},
 			Energy: map[string]float64{
 				"total": last.Total,
@@ -200,6 +244,41 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		StateCRC: stateCRC(sim),
 	}
 	return s.spool.writeResult(j.ID, res)
+}
+
+// restoreLayoutAware restores a spooled checkpoint whose partition
+// planes may differ from the fresh simulation's (Tier A wrote it
+// mid-rebalance, or the job relocated to a host that chose a different
+// initial layout). The recorded geometry is preferred — a bit-exact
+// resume — falling back to re-binning into the current layout, then to
+// the caller's fresh-start path for any other error.
+func (s *Server) restoreLayoutAware(j *Job, d deck.Deck, sim *core.Simulation, f *os.File) (*core.Simulation, error) {
+	err := sim.Restore(f)
+	var lme *core.LayoutMismatchError
+	if !errors.As(err, &lme) {
+		return sim, err
+	}
+	if lme.Layout.Dec.PX == d.Cfg.NRanks {
+		cfg2 := d.Cfg
+		cfg2.CutsX = append([]int(nil), lme.Layout.CX...)
+		if s2, err2 := core.New(cfg2); err2 == nil {
+			if _, err2 = f.Seek(0, io.SeekStart); err2 != nil {
+				return sim, err2
+			}
+			if err2 = s2.Restore(f); err2 == nil {
+				s.cfg.Logf("vpicd: %s resumed into recorded x-cuts %v", j.ID, cfg2.CutsX)
+				return s2, nil
+			}
+		}
+	}
+	if _, err = f.Seek(0, io.SeekStart); err != nil {
+		return sim, err
+	}
+	if err = sim.RestoreRebin(f); err != nil {
+		return sim, err
+	}
+	s.cfg.Logf("vpicd: %s re-binned checkpoint cuts %v into the current layout", j.ID, lme.Layout.CX)
+	return sim, nil
 }
 
 // saveCheckpoint writes the history/checkpoint pair atomically, in
