@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"govpic/internal/server"
+	"govpic/internal/valid"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 		coordinator = flag.String("coordinator", "", "vpicfleet base URL to register with (e.g. http://host:8990)")
 		advertise   = flag.String("advertise", "", "base URL the coordinator reaches this worker at (default http://127.0.0.1<addr>)")
 		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "coordinator re-registration interval")
+		validate    = flag.String("validate", "", "run the physics-validation suite at startup: fast | full (served at /v1/valid and /metrics)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,21 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *validate != "" {
+		tier := valid.Tier(*validate)
+		if tier != valid.TierFast && tier != valid.TierFull {
+			log.Fatalf("vpicd: -validate %q: want fast or full", *validate)
+		}
+		// The suite runs concurrently with service startup — the worker
+		// serves jobs immediately and its physics attestation appears on
+		// /v1/valid and /metrics when the cases finish (seconds for the
+		// fast tier).
+		go func() {
+			rep := valid.RunSuite(valid.Builtin(), tier, log.Printf)
+			srv.SetValidReport(rep)
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

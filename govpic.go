@@ -118,10 +118,24 @@ var (
 	DefaultLPIParams = deck.DefaultLPI
 	// ScaledLPIDeck returns a campaign tier by name.
 	ScaledLPIDeck = deck.ScaledLPI
+	// TNSADeck is the thin-target ion-acceleration benchmark; see
+	// DefaultTNSAParams.
+	TNSADeck = deck.TNSA
+	// DefaultTNSAParams returns the smoke-scale TNSA baseline.
+	DefaultTNSAParams = deck.DefaultTNSA
+	// PonderomotiveThot is the Wilks hot-electron temperature scale
+	// sqrt(1+a0²/2)−1 in me·c².
+	PonderomotiveThot = deck.PonderomotiveThot
 )
 
 // LPIParams configures the laser-plasma deck.
 type LPIParams = deck.LPIParams
+
+// TNSAParams configures the ion-acceleration deck.
+type TNSAParams = deck.TNSAParams
+
+// MeVPerMc2 converts code-unit energies (me·c²) to MeV.
+const MeVPerMc2 = units.MeVPerMc2
 
 // Theory helpers.
 var (

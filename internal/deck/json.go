@@ -16,7 +16,7 @@ import (
 // expensive).
 type JSONConfig struct {
 	// Deck selects the builder: thermal | oscillation | twostream |
-	// weibel | landau | lpi.
+	// weibel | landau | lpi | tnsa.
 	Deck string `json:"deck"`
 	// Steps is the run length (consumed by the caller).
 	Steps int `json:"steps"`
@@ -52,6 +52,14 @@ type JSONConfig struct {
 	MobileIons      bool    `json:"mobile_ions,omitempty"`
 	TransverseCells int     `json:"transverse_cells,omitempty"`
 	RefluxWalls     bool    `json:"reflux_walls,omitempty"`
+	// Ion species knobs (lpi with mobile_ions, tnsa). Zero means the
+	// deck's default (He²⁺ for lpi, C⁶⁺ for tnsa).
+	IonZ float64 `json:"ion_z,omitempty"`
+	IonM float64 `json:"ion_m,omitempty"`
+
+	// TNSA knobs: slab and rear contamination-layer thicknesses in c/ω0.
+	TargetThickness float64 `json:"target_thickness,omitempty"`
+	ContamThickness float64 `json:"contam_thickness,omitempty"`
 
 	// Collisions (applied to the first species).
 	CollisionNu0      float64 `json:"collision_nu0,omitempty"`
@@ -89,6 +97,23 @@ func (c JSONConfig) Build() (Deck, error) {
 	}
 	if c.N0 < 0 || c.Uth < 0 {
 		return Deck{}, fmt.Errorf("deck: densities and temperatures must be non-negative: n0=%g uth=%g", c.N0, c.Uth)
+	}
+	// Species-shaping knobs: zero means "use the deck default", anything
+	// negative is a typed rejection before it can reach a builder.
+	if c.IonZ < 0 {
+		return Deck{}, &ConfigError{Field: "ion_z", Value: c.IonZ, Reason: "ion charge state must be positive"}
+	}
+	if c.IonM < 0 {
+		return Deck{}, &ConfigError{Field: "ion_m", Value: c.IonM, Reason: "ion mass must be positive"}
+	}
+	if c.TeEV < 0 {
+		return Deck{}, &ConfigError{Field: "te_ev", Value: c.TeEV, Reason: "temperature must be non-negative"}
+	}
+	if c.TargetThickness < 0 {
+		return Deck{}, &ConfigError{Field: "target_thickness", Value: c.TargetThickness, Reason: "thickness must be positive"}
+	}
+	if c.ContamThickness < 0 {
+		return Deck{}, &ConfigError{Field: "contam_thickness", Value: c.ContamThickness, Reason: "thickness must be positive"}
 	}
 	def := func(v, d int) int {
 		if v == 0 {
@@ -147,7 +172,48 @@ func (c JSONConfig) Build() (Deck, error) {
 		p.MobileIons = c.MobileIons
 		p.TransverseCells = c.TransverseCells
 		p.RefluxWalls = c.RefluxWalls
+		if c.IonZ > 0 {
+			p.IonZ = c.IonZ
+		}
+		if c.IonM > 0 {
+			p.IonM = c.IonM
+		}
 		d, err = LPI(p)
+		if err != nil {
+			return Deck{}, err
+		}
+	case "tnsa":
+		a0 := c.A0
+		if a0 == 0 && c.IntensityWcm2 > 0 {
+			lambda := deff(c.WavelengthNM, 800) * 1e-9
+			a0 = units.A0FromIntensity(c.IntensityWcm2, lambda)
+		}
+		if a0 == 0 {
+			return Deck{}, fmt.Errorf("deck: tnsa needs a0 or intensity_wcm2")
+		}
+		p := DefaultTNSA(a0)
+		p.NRanks = ranks
+		p.PPC = def(c.PPC, p.PPC)
+		if c.N0 > 0 {
+			p.NeTarget = c.N0
+		}
+		if c.TeEV > 0 {
+			p.Te = units.TeFromEV(c.TeEV)
+		}
+		if c.TargetThickness > 0 {
+			p.TargetThickness = c.TargetThickness
+		}
+		if c.ContamThickness > 0 {
+			p.ContamThickness = c.ContamThickness
+		}
+		if c.IonZ > 0 {
+			p.IonZ = c.IonZ
+		}
+		if c.IonM > 0 {
+			p.IonM = c.IonM
+		}
+		p.RefluxWalls = c.RefluxWalls
+		d, err = TNSA(p)
 		if err != nil {
 			return Deck{}, err
 		}
@@ -178,5 +244,8 @@ func (c JSONConfig) Build() (Deck, error) {
 	}
 	d.Cfg.Balance.Interval = c.BalanceInterval   // 0 = default
 	d.Cfg.Balance.Threshold = c.BalanceThreshold // 0 = default
+	if err := validateSpecies(d); err != nil {
+		return Deck{}, err
+	}
 	return d, err
 }

@@ -75,10 +75,34 @@ type Job struct {
 	// none yet). The fleet coordinator watches it to mirror checkpoint
 	// artifacts for relocation.
 	CheckpointStep int `json:"checkpoint_step,omitempty"`
+	// Physics is the job's physics attestation, computed from the energy
+	// history when the job completes: every fleet run carries its own
+	// conservation verdict alongside its perf counters (the suite-level
+	// validation lives in internal/valid).
+	Physics *PhysicsAttestation `json:"physics,omitempty"`
 
 	cancel    func() // non-nil while running
 	preempted bool   // cancellation is a shutdown preemption, not a user cancel
 	pushed    int64  // particle advances so far (metrics)
+}
+
+// PhysicsAttestation is a completed job's self-check against the
+// conservation laws the step must honor regardless of deck: finite
+// energies always; div B preserved to float32 rounding always; total
+// energy drift bounded only when nothing drives or drains the budget
+// (undriven periodic decks — antennas and absorbing walls legitimately
+// move the total, so driven runs record the drift without gating on it).
+type PhysicsAttestation struct {
+	// EnergyDrift is (E_final − E_initial)/E_initial over the history.
+	EnergyDrift float64 `json:"energy_drift"`
+	// MaxDivBError is the largest relative div-B error sampled.
+	MaxDivBError float64 `json:"max_div_b_error"`
+	// Finite reports that every sampled energy was finite.
+	Finite bool `json:"finite"`
+	// Driven marks decks whose energy budget is open (lasers or
+	// absorbing particle walls); their drift is informational.
+	Driven bool `json:"driven"`
+	Pass   bool `json:"pass"`
 }
 
 // Result is the completed-job artifact: the run summary plus the full
@@ -89,4 +113,6 @@ type Result struct {
 	Summary  output.Summary      `json:"summary"`
 	History  []diag.EnergySample `json:"history"`
 	StateCRC string              `json:"state_crc"`
+	// Physics is the attestation also published on the Job.
+	Physics *PhysicsAttestation `json:"physics,omitempty"`
 }

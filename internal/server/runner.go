@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"govpic/internal/diag"
 	"govpic/internal/output"
 	"govpic/internal/perf"
+	"govpic/internal/push"
 )
 
 // runnerLoop is one executor: it drains the queue until close.
@@ -222,6 +224,10 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	}
 
 	wall := time.Since(wallStart)
+	att := attest(d, hist.Samples)
+	s.mu.Lock()
+	j.Physics = &att
+	s.mu.Unlock()
 	last := hist.Samples[len(hist.Samples)-1]
 	res := Result{
 		Summary: output.Summary{
@@ -242,8 +248,36 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		},
 		History:  hist.Samples,
 		StateCRC: stateCRC(sim),
+		Physics:  &att,
 	}
 	return s.spool.writeResult(j.ID, res)
+}
+
+// attest computes a completed job's physics attestation from its
+// sampled energy history (see PhysicsAttestation for the rules).
+func attest(d deck.Deck, samples []diag.EnergySample) PhysicsAttestation {
+	att := PhysicsAttestation{Finite: true, Driven: len(d.Cfg.Lasers) > 0}
+	for _, a := range d.Cfg.ParticleBC {
+		if a == push.Absorb {
+			att.Driven = true
+		}
+	}
+	for _, smp := range samples {
+		if math.IsNaN(smp.Total) || math.IsInf(smp.Total, 0) {
+			att.Finite = false
+		}
+		att.MaxDivBError = math.Max(att.MaxDivBError, smp.DivBError)
+	}
+	if n := len(samples); n > 1 && samples[0].Total > 0 {
+		att.EnergyDrift = (samples[n-1].Total - samples[0].Total) / samples[0].Total
+	}
+	// Bounds mirror the valid suite's conservation case: div B to
+	// float32 rounding, drift to 5% for closed budgets (collisional and
+	// long runs drift more than the thermal benchmark's 1e-4, so the
+	// gate is generous; the valid suite holds the tight line).
+	att.Pass = att.Finite && att.MaxDivBError <= 1e-7 &&
+		(att.Driven || math.Abs(att.EnergyDrift) <= 0.05)
+	return att
 }
 
 // restoreLayoutAware restores a spooled checkpoint whose partition

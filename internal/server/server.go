@@ -12,6 +12,7 @@ import (
 
 	"govpic/internal/deck"
 	"govpic/internal/diag"
+	"govpic/internal/valid"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -73,8 +74,42 @@ type Server struct {
 	// lifetime counters (this process; reset on restart)
 	completed, failed, cancelled, rejected int64
 
+	// validRep is the latest physics-validation report (nil until a
+	// suite has run); guarded by mu.
+	validRep *valid.Report
+
 	drainCh chan struct{}
 	wg      sync.WaitGroup
+}
+
+// SetValidReport publishes a physics-validation report: GET /v1/valid
+// serves it and /metrics exposes per-case pass gauges, so a fleet
+// worker's physics attestation is scrapeable next to its perf counters.
+func (s *Server) SetValidReport(rep valid.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.validRep = &rep
+	s.cfg.Logf("vpicd: validation report published (%s tier, %d cases, pass=%v)",
+		rep.Tier, len(rep.Cases), rep.Pass)
+}
+
+// ValidReport returns the latest published validation report.
+func (s *Server) ValidReport() (valid.Report, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.validRep == nil {
+		return valid.Report{}, false
+	}
+	return *s.validRep, true
+}
+
+func (s *Server) handleValid(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.ValidReport()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no validation report yet (start vpicd with -validate, or none finished)")
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // New builds a server over a spool directory, recovers unfinished jobs
@@ -183,6 +218,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{kind}", s.handleArtifact)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /v1/valid", s.handleValid)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux

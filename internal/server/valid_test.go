@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"govpic/internal/valid"
+)
+
+func TestValidEndpointAndMetrics(t *testing.T) {
+	srv, ts := startServer(t, t.TempDir(), Config{Runners: 1, QueueDepth: 4})
+	defer ts.Close()
+	defer srv.Close()
+
+	// Before a suite has run, /v1/valid answers 404.
+	resp, err := http.Get(ts.URL + "/v1/valid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/valid before a report: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	rep := valid.Report{
+		Date: "2026-01-02", Tier: "fast", Pass: true, Seconds: 1.25,
+		Cases: []valid.CaseResult{
+			{Name: "landau-damping", Tier: "fast", Pass: true, Seconds: 0.5},
+			{Name: "tnsa-ion-acceleration", Tier: "fast", Pass: true, Seconds: 0.75,
+				Observables: map[string]float64{"maxProtonMeV": 2.7}},
+		},
+	}
+	srv.SetValidReport(rep)
+
+	resp, err = http.Get(ts.URL + "/v1/valid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/valid: HTTP %d", resp.StatusCode)
+	}
+	var back valid.Report
+	if err := json.NewDecoder(resp.Body).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Pass || len(back.Cases) != 2 || back.Tier != "fast" {
+		t.Fatalf("report round-trip = %+v", back)
+	}
+	if back.Cases[1].Observables["maxProtonMeV"] != 2.7 {
+		t.Fatalf("observables lost in round-trip: %+v", back.Cases[1])
+	}
+
+	// The suite and per-case verdicts surface on /metrics.
+	for _, want := range []string{
+		`vpicd_valid_suite_pass{tier="fast"} 1`,
+		`vpicd_valid_cases 2`,
+		`vpicd_valid_case_pass{case="landau-damping"} 1`,
+		`vpicd_valid_case_pass{case="tnsa-ion-acceleration"} 1`,
+	} {
+		checkEndpoint(t, ts, "/metrics", want)
+	}
+}
+
+func TestJobPhysicsAttestation(t *testing.T) {
+	srv, ts := startServer(t, t.TempDir(), Config{Runners: 1, QueueDepth: 4, EnergyEvery: 5})
+	defer ts.Close()
+	defer srv.Close()
+
+	_, sr := submit(t, ts, SubmitRequest{Deck: smallThermal(60)})
+	id := sr.Jobs[0].ID
+	waitState(t, ts, id, StateCompleted)
+
+	j := getStatus(t, ts, id)
+	if j.Physics == nil {
+		t.Fatal("completed job carries no physics attestation")
+	}
+	if !j.Physics.Finite {
+		t.Error("thermal run attested non-finite energies")
+	}
+	if j.Physics.Driven {
+		t.Error("thermal deck attested as driven (no lasers, no absorbing walls)")
+	}
+	if !j.Physics.Pass {
+		t.Errorf("thermal run failed its attestation: %+v", *j.Physics)
+	}
+	if j.Physics.MaxDivBError > 1e-7 {
+		t.Errorf("divB error %g above the float32 rounding bound", j.Physics.MaxDivBError)
+	}
+
+	res := getResult(t, ts, id)
+	if res.Physics == nil || !res.Physics.Pass {
+		t.Fatalf("result attestation = %+v", res.Physics)
+	}
+
+	checkEndpoint(t, ts, "/metrics", `vpicd_job_physics_pass{job="`+id+`"} 1`)
+}

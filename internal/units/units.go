@@ -37,6 +37,9 @@ const (
 	EVPerJoule  = 1.0 / ElectronQ
 	ProtonM     = 1.67262192e-27 // proton mass, kg
 	MassRatioHP = ProtonM / ElectronM
+	// MeVPerMc2 converts code-unit energies (me·c²) to MeV — the unit
+	// the ion-acceleration literature reports cutoff energies in.
+	MeVPerMc2 = ElectronM * C * C * EVPerJoule / 1e6
 )
 
 // System describes a normalized unit system anchored at a reference

@@ -1,0 +1,219 @@
+package valid
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"govpic/internal/core"
+	"govpic/internal/deck"
+	"govpic/internal/mp"
+)
+
+// CaseResult is one executed case: its observables, its evaluated
+// checks, and the verdict.
+type CaseResult struct {
+	Name        string               `json:"name"`
+	About       string               `json:"about,omitempty"`
+	Tier        string               `json:"tier"`
+	Seconds     float64              `json:"seconds"`
+	Observables map[string]float64   `json:"observables,omitempty"`
+	Series      map[string][]float64 `json:"series,omitempty"`
+	Checks      []CheckResult        `json:"checks,omitempty"`
+	Pass        bool                 `json:"pass"`
+	Error       string               `json:"error,omitempty"`
+}
+
+// Report is the structured output of a suite run, written as
+// VALID_<date>.json and served by vpicd.
+type Report struct {
+	Date    string       `json:"date"`
+	Tier    string       `json:"tier"`
+	Pass    bool         `json:"pass"`
+	Seconds float64      `json:"seconds"`
+	Cases   []CaseResult `json:"cases"`
+}
+
+// RunCase executes one case on an in-process all-ranks simulation
+// (Spec.Ranks > 1 decomposes inside the process).
+func RunCase(c Case) CaseResult {
+	start := time.Now()
+	res := CaseResult{Name: c.Name, About: c.About, Tier: string(c.Tier)}
+	d, err := c.Spec.Build()
+	if err != nil {
+		return res.fail(start, fmt.Errorf("build deck: %w", err))
+	}
+	sim, err := d.New()
+	if err != nil {
+		return res.fail(start, fmt.Errorf("new simulation: %w", err))
+	}
+	return res.finish(start, c, d, &simProbe{s: sim})
+}
+
+// RunCaseRanks executes one case as one member of a RankSim world: the
+// caller provides this member's communicator, and every member must
+// call RunCaseRanks with the same case (the probe's observables are
+// collectives). Cases whose decks need an in-process Setup hook are
+// rejected — Setup receives a *core.Simulation, which does not exist on
+// the distributed path.
+func RunCaseRanks(c Case, comm *mp.Comm) CaseResult {
+	start := time.Now()
+	res := CaseResult{Name: c.Name, About: c.About, Tier: string(c.Tier)}
+	spec := c.Spec
+	spec.Ranks = comm.Size()
+	d, err := spec.Build()
+	if err != nil {
+		return res.fail(start, fmt.Errorf("build deck: %w", err))
+	}
+	if d.Setup != nil {
+		return res.fail(start, fmt.Errorf("case %s needs an in-process setup hook; run it with RunCase", c.Name))
+	}
+	rs, err := core.NewRankSim(d.Cfg, comm)
+	if err != nil {
+		return res.fail(start, fmt.Errorf("new rank sim: %w", err))
+	}
+	return res.finish(start, c, d, &rankProbe{rs: rs, comm: comm})
+}
+
+// CanRunRanks reports whether the case can run on the distributed
+// RankSim path with n members: its deck must build, decompose to n
+// ranks (some calibration decks pin NRanks to 1), and must not need an
+// in-process Setup hook.
+func CanRunRanks(c Case, n int) bool {
+	spec := c.Spec
+	spec.Ranks = n
+	d, err := spec.Build()
+	return err == nil && d.Setup == nil && d.Cfg.NRanks == n
+}
+
+func (res CaseResult) fail(start time.Time, err error) CaseResult {
+	res.Seconds = time.Since(start).Seconds()
+	res.Error = err.Error()
+	return res
+}
+
+func (res CaseResult) finish(start time.Time, c Case, d deck.Deck, p Probe) CaseResult {
+	obs, err := c.Observe(p, d, c.Spec.Steps)
+	if err != nil {
+		return res.fail(start, fmt.Errorf("observe: %w", err))
+	}
+	checks, err := c.Checks(d)
+	if err != nil {
+		return res.fail(start, fmt.Errorf("checks: %w", err))
+	}
+	res.Observables = sanitizeMap(obs.Scalars)
+	res.Series = sanitizeSeries(obs.Series)
+	res.Pass = true
+	for _, ck := range checks {
+		v, ok := obs.Scalars[ck.Observable]
+		if !ok {
+			v = math.NaN() // Eval fails NaN; sanitize below keeps JSON valid
+		}
+		cr := ck.Eval(v)
+		cr.Measured = sanitize(cr.Measured)
+		cr.Ref = sanitize(cr.Ref)
+		cr.Lo, cr.Hi = sanitize(cr.Lo), sanitize(cr.Hi)
+		if !cr.Pass {
+			res.Pass = false
+		}
+		res.Checks = append(res.Checks, cr)
+	}
+	res.Seconds = time.Since(start).Seconds()
+	return res
+}
+
+// RunSuite executes every case the tier includes, in registration
+// order, and assembles the report. logf (optional) receives one line
+// per case as it completes.
+func RunSuite(r *Registry, tier Tier, logf func(format string, args ...any)) Report {
+	start := time.Now()
+	rep := Report{
+		Date: time.Now().UTC().Format("2006-01-02"),
+		Tier: string(tier),
+		Pass: true,
+	}
+	for _, c := range r.Cases(tier) {
+		res := RunCase(c)
+		if !res.Pass {
+			rep.Pass = false
+		}
+		if logf != nil {
+			logf("%s", FormatCase(res))
+		}
+		rep.Cases = append(rep.Cases, res)
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	return rep
+}
+
+// FormatCase renders one case result as the human-readable suite line.
+func FormatCase(res CaseResult) string {
+	verdict := "PASS"
+	if !res.Pass {
+		verdict = "FAIL"
+	}
+	if res.Error != "" {
+		return fmt.Sprintf("%-24s ERROR  %5.1fs  %s", res.Name, res.Seconds, res.Error)
+	}
+	// Stable observable order for readable, diffable output.
+	keys := make([]string, 0, len(res.Observables))
+	for k := range res.Observables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	line := fmt.Sprintf("%-24s %s   %5.1fs ", res.Name, verdict, res.Seconds)
+	for _, k := range keys {
+		line += fmt.Sprintf(" %s=%.4g", k, res.Observables[k])
+	}
+	return line
+}
+
+// Write emits the report as VALID_<date>.json in dir and returns the
+// path.
+func (rep Report) Write(dir string) (string, error) {
+	path := filepath.Join(dir, "VALID_"+rep.Date+".json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sanitize maps NaN/±Inf onto JSON-encodable values (0 / ±MaxFloat64);
+// verdicts are evaluated on the raw values before sanitizing, so a
+// non-finite observable still fails its check.
+func sanitize(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+func sanitizeMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = sanitize(v)
+	}
+	return out
+}
+
+func sanitizeSeries(m map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(m))
+	for k, vs := range m {
+		cp := make([]float64, len(vs))
+		for i, v := range vs {
+			cp[i] = sanitize(v)
+		}
+		out[k] = cp
+	}
+	return out
+}

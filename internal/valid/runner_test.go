@@ -1,0 +1,180 @@
+package valid
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"govpic/internal/core"
+	"govpic/internal/deck"
+	"govpic/internal/mp"
+)
+
+// tinySpec is a cheap two-rank thermal deck for runner mechanics tests.
+func tinySpec(steps int) deck.JSONConfig {
+	return deck.JSONConfig{Deck: "thermal", Steps: steps, NX: 16, PPC: 8, Ranks: 2, Workers: 1}
+}
+
+// TestProbeParitySimVsRanks runs the same deck through both probe
+// implementations — in-process all-ranks Simulation and a 2-member
+// RankSim world — and requires every observable to agree: the
+// collective reductions must reproduce the serial loop bit-for-bit
+// (same summation order), which is what lets a case run unchanged on
+// either path.
+func TestProbeParitySimVsRanks(t *testing.T) {
+	const steps = 10
+	spec := tinySpec(steps)
+
+	d1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := d1.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSimProbe(sim)
+	for i := 0; i < steps; i++ {
+		sp.Step()
+	}
+
+	type obs struct {
+		total, lost, particles, mode, maxKE, tailM, tailW float64
+		spectrum                                          []float64
+	}
+	measure := func(p Probe) obs {
+		e := p.Energy()
+		m, w := p.TailKE(0, 0.001)
+		return obs{
+			total: e.Total, lost: p.LostEnergy(), particles: p.TotalParticles(),
+			mode: p.ModeProjectEx(2), maxKE: p.MaxKE(0), tailM: m, tailW: w,
+			spectrum: p.SpectrumKE(0, 0.02, 16),
+		}
+	}
+	want := measure(sp)
+
+	world := mp.NewWorld(2)
+	got := make([]obs, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			d, err := spec.Build()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rs, err := core.NewRankSim(d.Cfg, world.Comm(r))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p := NewRankProbe(rs, world.Comm(r))
+			for i := 0; i < steps; i++ {
+				p.Step()
+			}
+			got[r] = measure(p)
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < 2; r++ {
+		g := got[r]
+		close := func(name string, a, b float64) {
+			if math.Abs(a-b) > 1e-12*math.Max(1, math.Abs(b)) {
+				t.Errorf("rank %d: %s = %g, sim probe says %g", r, name, a, b)
+			}
+		}
+		close("total energy", g.total, want.total)
+		close("lost energy", g.lost, want.lost)
+		close("particles", g.particles, want.particles)
+		close("mode projection", g.mode, want.mode)
+		close("max KE", g.maxKE, want.maxKE)
+		close("tail mean", g.tailM, want.tailM)
+		close("tail weight", g.tailW, want.tailW)
+		if len(g.spectrum) != len(want.spectrum) {
+			t.Fatalf("rank %d: spectrum bins %d vs %d", r, len(g.spectrum), len(want.spectrum))
+		}
+		for b := range g.spectrum {
+			close("spectrum bin", g.spectrum[b], want.spectrum[b])
+		}
+	}
+}
+
+func TestRunCaseEvaluatesChecks(t *testing.T) {
+	c := Case{
+		Name: "toy", Tier: TierFast, Spec: tinySpec(5),
+		Observe: func(p Probe, d deck.Deck, steps int) (Obs, error) {
+			for i := 0; i < steps; i++ {
+				p.Step()
+			}
+			return Obs{Scalars: map[string]float64{
+				"particles": p.TotalParticles(),
+				"broken":    math.NaN(),
+			}}, nil
+		},
+		Checks: func(d deck.Deck) ([]Check, error) {
+			return []Check{
+				{Observable: "particles", Lo: 1, Hi: 1e12},
+				{Observable: "missing", Lo: 0, Hi: 1},
+			}, nil
+		},
+	}
+	res := RunCase(c)
+	if res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	if res.Pass {
+		t.Error("case passed despite a missing observable")
+	}
+	if len(res.Checks) != 2 || !res.Checks[0].Pass || res.Checks[1].Pass {
+		t.Errorf("checks = %+v", res.Checks)
+	}
+	// NaN observable sanitized for JSON, but report must stay encodable.
+	if res.Observables["broken"] != 0 {
+		t.Errorf("NaN observable sanitized to %g, want 0", res.Observables["broken"])
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result not JSON-encodable: %v", err)
+	}
+}
+
+func TestCanRunRanks(t *testing.T) {
+	free := Case{Name: "free", Tier: TierFast, Spec: tinySpec(2),
+		Observe: func(p Probe, d deck.Deck, steps int) (Obs, error) { return Obs{}, nil },
+		Checks:  func(d deck.Deck) ([]Check, error) { return nil, nil }}
+	if !CanRunRanks(free, 2) {
+		t.Error("thermal case rejected for a 2-rank world")
+	}
+	// twostream's builder pins NRanks to 1, so a 2-rank world must be
+	// rejected (it would build but not decompose).
+	pinned := free
+	pinned.Spec = deck.JSONConfig{Deck: "twostream", Steps: 2, NX: 32, PPC: 8}
+	if CanRunRanks(pinned, 2) {
+		t.Error("rank-pinned deck accepted for a 2-rank world")
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	dir := t.TempDir()
+	rep := Report{Date: "2026-01-02", Tier: "fast", Pass: true,
+		Cases: []CaseResult{{Name: "toy", Pass: true}}}
+	path, err := rep.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != "2026-01-02" || len(back.Cases) != 1 || !back.Pass {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
