@@ -40,10 +40,10 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("baseline  %s (%s: deck=%s ranks=%d steps=%d)\n",
-		basePath, base.Date, base.Deck, base.Ranks, base.Steps)
-	fmt.Printf("candidate %s (%s: deck=%s ranks=%d steps=%d)\n",
-		*candidate, cand.Date, cand.Deck, cand.Ranks, cand.Steps)
+	fmt.Printf("baseline  %s (%s: deck=%s ranks=%d steps=%d kernel=%s)\n",
+		basePath, base.Date, base.Deck, base.Ranks, base.Steps, kernelName(base))
+	fmt.Printf("candidate %s (%s: deck=%s ranks=%d steps=%d kernel=%s)\n",
+		*candidate, cand.Date, cand.Deck, cand.Ranks, cand.Steps, kernelName(cand))
 
 	failed := false
 
@@ -114,6 +114,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// kernelName reports which push kernel produced a record; records
+// written before the asm/go switch carry no tag.
+func kernelName(r output.BenchRecord) string {
+	if r.Kernel == "" {
+		return "(untagged)"
+	}
+	return r.Kernel
 }
 
 // bytesPerPush models the push section's memory traffic per

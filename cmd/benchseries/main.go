@@ -1,0 +1,121 @@
+// Command benchseries appends one benchmark record to the committed
+// perf time series (bench/series.json), keyed by commit, date and
+// push kernel. Where benchgate answers "did this run regress against
+// the latest baseline", the series answers "what has throughput done
+// over the project's history" — it survives baseline re-anchors and
+// gives dashboards a single file to plot (ROADMAP item 5).
+//
+// Usage:
+//
+//	benchseries -record bench-record.json [-series bench/series.json] [-commit <sha>]
+//	benchseries -series bench/series.json -print
+//
+// -commit defaults to `git rev-parse --short=12 HEAD`, with a
+// "+dirty" suffix when the worktree has uncommitted changes; CI
+// passes the pushed SHA explicitly. Re-appending the same
+// commit/deck/kernel replaces the existing point instead of
+// duplicating it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"govpic/internal/output"
+)
+
+func main() {
+	record := flag.String("record", "bench-record.json", "benchmark record (written by vpic -bench-json) to append")
+	series := flag.String("series", "bench/series.json", "series file to append into (created if missing)")
+	commit := flag.String("commit", "", "commit key for the entry (default: git rev-parse --short=12 HEAD, +dirty if unclean)")
+	print := flag.Bool("print", false, "print the series as a table instead of appending")
+	flag.Parse()
+
+	entries, err := loadSeries(*series)
+	if err != nil {
+		fatal(err)
+	}
+	if *print {
+		printSeries(os.Stdout, entries)
+		return
+	}
+
+	f, err := os.Open(*record)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := output.ReadBench(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	sha := *commit
+	if sha == "" {
+		if sha, err = gitCommit(); err != nil {
+			fatal(fmt.Errorf("no -commit and git unavailable: %w", err))
+		}
+	}
+
+	entry := output.SeriesEntryFromBench(sha, rec)
+	entries = output.AppendSeries(entries, entry)
+	err = output.WriteFileAtomic(*series, func(w io.Writer) error {
+		return output.WriteSeries(w, entries)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d entries (+ %s %s deck=%s kernel=%s %.3f Mpart/s)\n",
+		*series, len(entries), entry.Date, entry.Commit, entry.Deck, kernelName(entry.Kernel), entry.MPartPerS)
+}
+
+func loadSeries(path string) ([]output.SeriesEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return output.ReadSeries(f)
+}
+
+func printSeries(w io.Writer, entries []output.SeriesEntry) {
+	fmt.Fprintf(w, "%-10s  %-14s  %-9s  %-6s  %5s  %8s  %9s  %7s\n",
+		"date", "commit", "deck", "kernel", "ranks", "Mpart/s", "B/push", "Gflop/s")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-10s  %-14s  %-9s  %-6s  %5d  %8.3f  %9.2f  %7.3f\n",
+			e.Date, e.Commit, e.Deck, kernelName(e.Kernel), e.Ranks, e.MPartPerS, e.BytesPerPush, e.GFlopPerS)
+	}
+}
+
+func kernelName(k string) string {
+	if k == "" {
+		return "-"
+	}
+	return k
+}
+
+// gitCommit resolves the worktree's HEAD, tagging uncommitted state so
+// a series point can never silently claim a clean commit it wasn't
+// measured on.
+func gitCommit() (string, error) {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "", err
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		sha += "+dirty"
+	}
+	return sha, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchseries:", err)
+	os.Exit(1)
+}

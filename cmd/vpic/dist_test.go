@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"govpic/internal/push"
 )
 
 // TestMain lets the test binary act as the vpic CLI when re-executed
@@ -142,6 +144,15 @@ func TestOverlapMatrixCRCIdentical(t *testing.T) {
 		{"local-sync", []string{"-overlap=false"}},
 		{"tcp-overlap", []string{"-local-ranks", "4", "-overlap=true"}},
 		{"tcp-sync", []string{"-local-ranks", "4", "-overlap=false"}},
+		// The kernel axis: asm and go claim bitwise identity, so every
+		// variant must land on the same CRC as the overlap/transport ones.
+		{"local-kernel-go", []string{"-overlap=true", "-kernel=go"}},
+	}
+	if push.AsmAvailable() {
+		variants = append(variants,
+			variant{"local-kernel-asm", []string{"-overlap=true", "-kernel=asm"}},
+			variant{"tcp-kernel-asm", []string{"-local-ranks", "4", "-overlap=true", "-kernel=asm"}},
+		)
 	}
 	artifacts := make([][]byte, len(variants))
 	for i, v := range variants {

@@ -28,6 +28,7 @@ import (
 	"govpic/internal/diag"
 	"govpic/internal/output"
 	"govpic/internal/perf"
+	psort "govpic/internal/sort"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		ranks   = flag.Int("ranks", 1, "domain-decomposed rank count")
 		workers = flag.Int("workers", 0, "pipeline workers per rank (0 = CPUs/rank, capped at 8)")
 		lanes   = flag.Int("lanes", 0, "push kernel width: 8 = wide-lane AoSoA kernel, 1 = scalar oracle (0 = default 8; bit-identical either way)")
+		kernel  = flag.String("kernel", "", "wide-lane kernel implementation: asm | go | auto (default auto; bit-identical either way)")
 		overlap = flag.Bool("overlap", true, "overlap communication with computation (bit-identical either way)")
 		ppc     = flag.Int("ppc", 64, "particles per cell")
 		nx      = flag.Int("nx", 64, "cells along x (non-LPI decks)")
@@ -100,6 +102,9 @@ func main() {
 	if *lanes != 0 {
 		d.Cfg.Lanes = *lanes
 	}
+	if *kernel != "" {
+		d.Cfg.Kernel = *kernel
+	}
 	// An explicit -overlap wins; otherwise a config file's setting
 	// stands and the flag default applies only to flag-driven runs.
 	overlapSet := false
@@ -151,8 +156,8 @@ func main() {
 		fmt.Printf("restored at step %d (t = %.3f)\n", sim.StepCount(), sim.Time())
 	}
 
-	fmt.Printf("deck %q: %d cells, %d particles, %d ranks × %d workers, dt = %.4g\n",
-		d.Name, d.Cfg.NX*d.Cfg.NY*d.Cfg.NZ, sim.TotalParticles(), d.Cfg.NRanks, sim.Cfg.Workers, d.Cfg.DT)
+	fmt.Printf("deck %q: %d cells, %d particles, %d ranks × %d workers, %s kernel, dt = %.4g\n",
+		d.Name, d.Cfg.NX*d.Cfg.NY*d.Cfg.NZ, sim.TotalParticles(), d.Cfg.NRanks, sim.Cfg.Workers, sim.Cfg.Kernel, d.Cfg.DT)
 
 	var hist diag.History
 	hist.Add(sim.Energy())
@@ -215,6 +220,12 @@ func main() {
 	b := sim.PerfBreakdown()
 	b.Merge(&carry.perf)
 	fmt.Print(b.Report())
+	sp := sim.SortPasses()
+	sp.Merge(carry.sort)
+	if tot := sp.CountSeconds + sp.MergeSeconds + sp.ScatterSeconds; tot > 0 {
+		fmt.Printf("sort passes: count %4.1f%%  merge %4.1f%%  scatter %4.1f%%  (%d sorts, %.3fs)\n",
+			100*sp.CountSeconds/tot, 100*sp.MergeSeconds/tot, 100*sp.ScatterSeconds/tot, sp.Sorts, tot)
+	}
 	if d.Cfg.NRanks > 1 {
 		printCommTables(sim.CommLinks(), sim.CommTraffic())
 		fmt.Printf("per-rank particles: %v  push imbalance (max/mean): %.3f\n",
@@ -325,6 +336,7 @@ func main() {
 			Particles:          sim.TotalParticles(),
 			Ranks:              d.Cfg.NRanks,
 			Workers:            sim.Cfg.Workers,
+			Kernel:             sim.Cfg.Kernel,
 			Overlap:            !d.Cfg.NoOverlap,
 			CommWaitSeconds:    pb.CommWait().Seconds(),
 			CommOverlapSeconds: pb.CommOverlap().Seconds(),
@@ -340,6 +352,16 @@ func main() {
 			rec.ImbalanceRatio = sim.ImbalanceRatio()
 			rec.PerRankParticles = sim.PerRankParticles()
 			rec.Balance = d.Cfg.Balance.Mode.String()
+		}
+		bsp := sim.SortPasses()
+		bsp.Merge(carry.sort)
+		if bsp.Sorts > 0 {
+			rec.SortPasses = &output.BenchSortPasses{
+				CountSeconds:   bsp.CountSeconds,
+				MergeSeconds:   bsp.MergeSeconds,
+				ScatterSeconds: bsp.ScatterSeconds,
+				Sorts:          bsp.Sorts,
+			}
 		}
 		err := output.WriteFileAtomic(path, func(w io.Writer) error {
 			return output.WriteBench(w, rec)
@@ -388,6 +410,7 @@ func buildDeck(name string, nx, ppc, ranks int, a0 float64) (deck.Deck, error) {
 // the whole run.
 type counterCarry struct {
 	perf   perf.Breakdown
+	sort   psort.Passes
 	pushed int64
 	flops  int64
 }
@@ -395,6 +418,7 @@ type counterCarry struct {
 func (cc *counterCarry) absorb(s *core.Simulation) {
 	pb := s.PerfBreakdown()
 	cc.perf.Merge(&pb)
+	cc.sort.Merge(s.SortPasses())
 	cc.pushed += s.PushedParticles()
 	cc.flops += s.Flops()
 }

@@ -112,6 +112,16 @@ type Config struct {
 	// internal/push), so this is a speed knob, not a physics knob.
 	Lanes int
 
+	// Kernel selects the wide-lane sweep's implementation: "asm" (the
+	// AVX2 assembly kernel), "go" (the portable lane kernel), or
+	// ""/"auto" — asm whenever the CPU supports it, overridable via the
+	// GOVPIC_KERNEL environment variable. Validate resolves it to the
+	// concrete "asm" or "go" that will run, so reports and bench
+	// records always name the kernel that produced them. Like Lanes,
+	// a speed knob only: the kernels are bitwise identical. Ignored
+	// when Lanes is 1.
+	Kernel string
+
 	// CutsX optionally pins a non-uniform x-plane layout: len(CutsX)-1
 	// x-slabs owning global cells [CutsX[i], CutsX[i+1]). Nil means
 	// the uniform division. A rebalanced checkpoint records its cuts
@@ -154,6 +164,11 @@ func (c *Config) Validate() error {
 	if c.Lanes != 1 && c.Lanes != particle.Lanes {
 		return fmt.Errorf("core: Lanes %d must be 1 or %d", c.Lanes, particle.Lanes)
 	}
+	kernel, err := push.ResolveKernel(c.Kernel)
+	if err != nil {
+		return err
+	}
+	c.Kernel = kernel
 	if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
 		return fmt.Errorf("core: cell counts %d×%d×%d invalid", c.NX, c.NY, c.NZ)
 	}

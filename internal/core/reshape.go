@@ -241,6 +241,7 @@ func (rk *Rank) reshapeX(cfg *Config, newCX []int) {
 	for i, sp := range rk.Species {
 		k := push.NewKernel(gNew, rk.IP, rk.Acc, sp.Q, sp.M, cfg.DT)
 		k.Lanes = cfg.Lanes
+		k.Asm = cfg.Kernel == push.KernelAsm
 		k.Bound = dNew.ParticleActions()
 		k.AdoptFrom(rk.Kernels[i])
 		n := sp.Buf.N()

@@ -73,6 +73,8 @@ type Simulation struct {
 	step int
 	time float64
 
+	sortPasses psort.Passes
+
 	wg sync.WaitGroup
 }
 
@@ -209,6 +211,7 @@ func newRank(cfg *Config, dcfg domain.Config, comm *mp.Comm) (*Rank, error) {
 		}
 		k := push.NewKernel(d.G, rk.IP, rk.Acc, sp.Q, sp.M, cfg.DT)
 		k.Lanes = cfg.Lanes
+		k.Asm = cfg.Kernel == push.KernelAsm
 		k.Bound = d.ParticleActions()
 		rk.Species = append(rk.Species, sp)
 		rk.Kernels = append(rk.Kernels, k)
@@ -780,6 +783,18 @@ func (s *Simulation) PerfBreakdown() perf.Breakdown {
 		b.Merge(&rk.Perf)
 	}
 	return b
+}
+
+// SortPasses returns the cumulative per-pass breakdown of the sort
+// section (count / merge / scatter wall time) summed over all ranks —
+// the Amdahl observability of the counting sort's parallelization.
+// Each call drains the rank workspaces into the simulation's running
+// total, so it composes with periodic polling.
+func (s *Simulation) SortPasses() psort.Passes {
+	for _, rk := range s.Ranks {
+		s.sortPasses.Merge(rk.sortWS.TakePasses())
+	}
+	return s.sortPasses
 }
 
 // CommBytes returns the total payload bytes exchanged.

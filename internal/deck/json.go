@@ -29,6 +29,11 @@ type JSONConfig struct {
 	// Lanes is the push kernel width: 8 (or absent) runs the wide-lane
 	// AoSoA kernel, 1 the scalar fused oracle. Bit-identical either way.
 	Lanes int `json:"lanes,omitempty"`
+	// Kernel selects the wide-lane sweep implementation: "asm" (AVX2
+	// assembly), "go" (portable), or ""/"auto" (asm when the CPU
+	// supports it). Bit-identical either way; "asm" errors on hardware
+	// without AVX2 rather than silently measuring the wrong kernel.
+	Kernel string `json:"kernel,omitempty"`
 	// Overlap toggles communication/computation overlap (nonblocking
 	// exchanges hidden behind the interior push and field advance).
 	// Absent means on; results are bit-identical either way.
@@ -231,7 +236,8 @@ func (c JSONConfig) Build() (Deck, error) {
 		return Deck{}, fmt.Errorf("deck: negative workers %d", c.Workers)
 	}
 	d.Cfg.Workers = c.Workers
-	d.Cfg.Lanes = c.Lanes // validated by core.Config.Validate
+	d.Cfg.Lanes = c.Lanes   // validated by core.Config.Validate
+	d.Cfg.Kernel = c.Kernel // resolved/validated by core.Config.Validate
 	if c.Overlap != nil {
 		d.Cfg.NoOverlap = !*c.Overlap
 	}

@@ -79,12 +79,15 @@ type CommLinkRecord struct {
 // and data-motion breakdown, so kernel changes leave a comparable
 // perf trajectory in the repo.
 type BenchRecord struct {
-	Date        string  `json:"date"` // YYYY-MM-DD
-	Deck        string  `json:"deck"`
-	Steps       int     `json:"steps"`
-	Particles   int     `json:"particles"`
-	Ranks       int     `json:"ranks"`
-	Workers     int     `json:"workers"`
+	Date      string `json:"date"` // YYYY-MM-DD
+	Deck      string `json:"deck"`
+	Steps     int    `json:"steps"`
+	Particles int    `json:"particles"`
+	Ranks     int    `json:"ranks"`
+	Workers   int    `json:"workers"`
+	// Kernel names the wide-lane push implementation that produced the
+	// record ("asm" or "go"); absent on records predating the switch.
+	Kernel      string  `json:"kernel,omitempty"`
 	Overlap     bool    `json:"overlap"`
 	WallSeconds float64 `json:"wall_seconds"`
 	MPartPerS   float64 `json:"mpart_per_s"`
@@ -93,11 +96,15 @@ type BenchRecord struct {
 	// CommWaitSeconds is time ranks spent blocked on exchange requests;
 	// CommOverlapSeconds is exchange flight time hidden behind compute
 	// (not part of any section's wall time), summed over ranks.
-	CommWaitSeconds    float64           `json:"comm_wait_seconds"`
-	CommOverlapSeconds float64           `json:"comm_overlap_seconds"`
-	Sections           []BenchSection    `json:"sections"`
-	CommTraffic        []CommClassRecord `json:"comm_traffic,omitempty"` // sent bytes per exchange class
-	CommLinks          []CommLinkRecord  `json:"comm_links,omitempty"`   // per rank-pair link counters
+	CommWaitSeconds    float64        `json:"comm_wait_seconds"`
+	CommOverlapSeconds float64        `json:"comm_overlap_seconds"`
+	Sections           []BenchSection `json:"sections"`
+	// SortPasses breaks the sort section into its count / prefix-merge /
+	// scatter passes, so the residual serial fraction of the sort is
+	// visible once the push kernel is vectorized.
+	SortPasses  *BenchSortPasses  `json:"sort_passes,omitempty"`
+	CommTraffic []CommClassRecord `json:"comm_traffic,omitempty"` // sent bytes per exchange class
+	CommLinks   []CommLinkRecord  `json:"comm_links,omitempty"`   // per rank-pair link counters
 	// Multi-rank load-balance observability: max/mean per-rank push
 	// seconds, the final per-rank particle counts, and the balance mode
 	// the run used (off | checkpoint | online).
@@ -105,6 +112,15 @@ type BenchRecord struct {
 	PerRankParticles []int     `json:"per_rank_particles,omitempty"`
 	Balance          string    `json:"balance,omitempty"`
 	Written          time.Time `json:"written"`
+}
+
+// BenchSortPasses is the sort section's per-pass wall-time breakdown
+// (summed over ranks and sorts; see internal/sort.Passes).
+type BenchSortPasses struct {
+	CountSeconds   float64 `json:"count_seconds"`
+	MergeSeconds   float64 `json:"merge_seconds"`
+	ScatterSeconds float64 `json:"scatter_seconds"`
+	Sorts          int64   `json:"sorts"`
 }
 
 // WriteBench emits the record as indented JSON.

@@ -1,0 +1,90 @@
+package output
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func seriesRecord(kernel string, mps float64) BenchRecord {
+	return BenchRecord{
+		Date: "2026-08-08", Deck: "thermal", Steps: 60, Particles: 32768,
+		Ranks: 4, Workers: 1, Kernel: kernel, MPartPerS: mps, GFlopPerS: 2,
+		Sections: []BenchSection{{Name: "push", BytesMoved: 361414608}},
+	}
+}
+
+func TestSeriesEntryFromBench(t *testing.T) {
+	e := SeriesEntryFromBench("abc123", seriesRecord("asm", 15))
+	if e.Commit != "abc123" || e.Kernel != "asm" || e.MPartPerS != 15 {
+		t.Fatalf("projection wrong: %+v", e)
+	}
+	want := 361414608.0 / (32768.0 * 60.0)
+	if e.BytesPerPush != want {
+		t.Fatalf("BytesPerPush = %g, want %g", e.BytesPerPush, want)
+	}
+}
+
+func TestSeriesRoundTripAndDedup(t *testing.T) {
+	var s []SeriesEntry
+	s = AppendSeries(s, SeriesEntryFromBench("aaa", seriesRecord("go", 10)))
+	s = AppendSeries(s, SeriesEntryFromBench("aaa", seriesRecord("asm", 15)))
+	s = AppendSeries(s, SeriesEntryFromBench("bbb", seriesRecord("asm", 16)))
+	if len(s) != 3 {
+		t.Fatalf("expected 3 entries, got %d", len(s))
+	}
+	// Same key replaces in place.
+	s = AppendSeries(s, SeriesEntryFromBench("aaa", seriesRecord("asm", 17)))
+	if len(s) != 3 {
+		t.Fatalf("dedup failed: %d entries", len(s))
+	}
+	found := false
+	for _, e := range s {
+		if e.Commit == "aaa" && e.Kernel == "asm" {
+			found = true
+			if e.MPartPerS != 17 {
+				t.Fatalf("replacement kept stale rate %g", e.MPartPerS)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("replaced entry vanished")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round trip lost entries: %d", len(back))
+	}
+}
+
+func TestReadSeriesEmpty(t *testing.T) {
+	s, err := ReadSeries(strings.NewReader(""))
+	if err != nil || s != nil {
+		t.Fatalf("empty input: %v, %v", s, err)
+	}
+	if _, err := ReadSeries(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad input accepted")
+	}
+}
+
+func TestWriteSeriesStableOrder(t *testing.T) {
+	s := []SeriesEntry{
+		{Commit: "bbb", Date: "2026-08-08", Deck: "thermal", Kernel: "asm"},
+		{Commit: "aaa", Date: "2026-08-06", Deck: "thermal", Kernel: "go"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "aaa") > strings.Index(out, "bbb") {
+		t.Fatalf("series not date-ordered:\n%s", out)
+	}
+}

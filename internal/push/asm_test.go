@@ -1,0 +1,232 @@
+package push
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"govpic/internal/particle"
+	"govpic/internal/pipe"
+	"govpic/internal/rng"
+)
+
+// The asm↔go parity suite. The AVX2 span kernel claims bitwise
+// identity with the Go lane kernel — not tolerance, identity — so
+// every comparison here is on bit patterns (plain float comparison
+// would wrongly flag identical NaNs as diverged; the populations
+// deliberately include NaN-position and NaN-momentum particles, which
+// the crosser mask must flag and moveP's backstop must handle the
+// same way on both kernels).
+
+func bitEq32(a, b float32) bool { return math.Float32bits(a) == math.Float32bits(b) }
+
+func bitEqParticle(a, b particle.Particle) bool {
+	return bitEq32(a.Dx, b.Dx) && bitEq32(a.Dy, b.Dy) && bitEq32(a.Dz, b.Dz) &&
+		a.Voxel == b.Voxel &&
+		bitEq32(a.Ux, b.Ux) && bitEq32(a.Uy, b.Uy) && bitEq32(a.Uz, b.Uz) &&
+		bitEq32(a.W, b.W)
+}
+
+func bitEqOutgoing(a, b Outgoing) bool {
+	return bitEqParticle(a.P, b.P) &&
+		bitEq32(a.DispX, b.DispX) && bitEq32(a.DispY, b.DispY) && bitEq32(a.DispZ, b.DispZ)
+}
+
+// asmParityRig builds the adversarial population of the PR 6 lane
+// matrix — a partially filled trailing block and one block whose every
+// lane crosses on the first step — plus NaN-position and NaN-momentum
+// particles, which both kernels must defer to moveP identically.
+func asmParityRig(n int, seed uint64, sorted bool) (*rig, *Kernel) {
+	r := newRig(6, 5, 4, 0.5)
+	r.smoothFields(0.3)
+	r.loadRandom(n, 0.5, seed)
+	if n >= particle.Lanes {
+		v := int32(r.g.Voxel(3, 2, 2))
+		for l := 0; l < particle.Lanes; l++ {
+			r.buf.Append(particle.Particle{
+				Voxel: v, Dx: 0.98, Dy: float32(l) * 0.01, Ux: 3, W: 1,
+			})
+		}
+		nan := float32(math.NaN())
+		r.buf.Append(particle.Particle{Voxel: v, Dx: nan, W: 1})
+		r.buf.Append(particle.Particle{Voxel: v, Dy: nan, Ux: 0.5, W: 1})
+		r.buf.Append(particle.Particle{Voxel: v, Uz: nan, W: 1})
+	}
+	if sorted {
+		sortByVoxel(r.buf)
+	} else {
+		src := rng.New(seed^0x9e37, 1)
+		for i := r.buf.N() - 1; i > 0; i-- {
+			j := src.Intn(i + 1)
+			pi, pj := r.buf.At(i), r.buf.At(j)
+			r.buf.Set(i, pj)
+			r.buf.Set(j, pi)
+		}
+	}
+	return r, r.kernel(-1, 1, 0.24)
+}
+
+// checkAsmGoState requires bitwise-identical particles, accumulators,
+// outgoing batches and counters between the asm and go kernels.
+func checkAsmGoState(t *testing.T, label string, ra *rig, ka *Kernel, rg *rig, kg *Kernel) {
+	t.Helper()
+	if ra.buf.N() != rg.buf.N() {
+		t.Fatalf("%s: particle counts diverged: asm %d go %d", label, ra.buf.N(), rg.buf.N())
+	}
+	for i := 0; i < ra.buf.N(); i++ {
+		if !bitEqParticle(ra.buf.At(i), rg.buf.At(i)) {
+			t.Fatalf("%s: particle %d diverged:\nasm %+v\ngo  %+v", label, i, ra.buf.At(i), rg.buf.At(i))
+		}
+	}
+	for v := range ra.acc.A {
+		a, g := &ra.acc.A[v], &rg.acc.A[v]
+		for j := 0; j < 4; j++ {
+			if !bitEq32(a.JX[j], g.JX[j]) || !bitEq32(a.JY[j], g.JY[j]) || !bitEq32(a.JZ[j], g.JZ[j]) {
+				t.Fatalf("%s: accumulator voxel %d diverged:\nasm %+v\ngo  %+v", label, v, *a, *g)
+			}
+		}
+	}
+	for f := range ka.Out {
+		if len(ka.Out[f]) != len(kg.Out[f]) {
+			t.Fatalf("%s: face %d outgoing count diverged: asm %d go %d",
+				label, f, len(ka.Out[f]), len(kg.Out[f]))
+		}
+		for i := range ka.Out[f] {
+			if !bitEqOutgoing(ka.Out[f][i], kg.Out[f][i]) {
+				t.Fatalf("%s: face %d outgoing %d diverged", label, f, i)
+			}
+		}
+	}
+	if ka.NPushed != kg.NPushed || ka.NMoved != kg.NMoved || ka.NSeg != kg.NSeg ||
+		ka.NLost != kg.NLost || ka.NRuns != kg.NRuns ||
+		math.Float64bits(ka.ELost) != math.Float64bits(kg.ELost) {
+		t.Fatalf("%s: counters diverged:\nasm {p %d m %d s %d l %d r %d e %g}\ngo  {p %d m %d s %d l %d r %d e %g}",
+			label, ka.NPushed, ka.NMoved, ka.NSeg, ka.NLost, ka.NRuns, ka.ELost,
+			kg.NPushed, kg.NMoved, kg.NSeg, kg.NLost, kg.NRuns, kg.ELost)
+	}
+}
+
+// TestAsmKernelMatchesGoMatrix is the headline parity gate: the asm
+// and go lane kernels must produce bitwise-identical state through
+// multiple steps across the serial path and the pipelined path with
+// W ∈ {1, 3, 8}, sorted and adversarially shuffled, over populations
+// with a partial trailing block, an all-lanes-crossing block and NaN
+// particles.
+func TestAsmKernelMatchesGoMatrix(t *testing.T) {
+	if !AsmAvailable() {
+		t.Skip("assembly kernel unavailable on this build/CPU")
+	}
+	const steps = 4
+	for _, spanMin := range []int{1, asmSpanMin} {
+		defer func(m int) { asmSpanMin = m }(asmSpanMin)
+		asmSpanMin = spanMin
+		t.Run(fmt.Sprintf("spanMin=%d", spanMin), func(t *testing.T) { asmGoMatrix(t, steps) })
+	}
+}
+
+func asmGoMatrix(t *testing.T, steps int) {
+	for _, sorted := range []bool{true, false} {
+		// Serial path.
+		ra, ka := asmParityRig(4013, 41, sorted)
+		rg, kg := asmParityRig(4013, 41, sorted)
+		ka.Asm = true
+		label := fmt.Sprintf("serial sorted=%v", sorted)
+		for s := 0; s < steps; s++ {
+			ra.acc.Clear()
+			rg.acc.Clear()
+			ka.AdvanceP(ra.buf)
+			kg.AdvanceP(rg.buf)
+			checkAsmGoState(t, fmt.Sprintf("%s step %d", label, s), ra, ka, rg, kg)
+		}
+		if ka.NMoved < int64(steps*particle.Lanes) {
+			t.Fatalf("%s: only %d crossings; the crosser mask path was not exercised", label, ka.NMoved)
+		}
+
+		// Pipelined path across worker counts.
+		for _, w := range []int{1, 3, 8} {
+			ra, ka := asmParityRig(4013, 41, sorted)
+			rg, kg := asmParityRig(4013, 41, sorted)
+			ka.Asm = true
+			pool := pipe.New(w)
+			accsA, blocksA := blockFixture(ra)
+			accsG, blocksG := blockFixture(rg)
+			label := fmt.Sprintf("W=%d sorted=%v", w, sorted)
+			for s := 0; s < steps; s++ {
+				runBlockedStep(ka, ra, pool, accsA, blocksA)
+				runBlockedStep(kg, rg, pool, accsG, blocksG)
+				checkAsmGoState(t, fmt.Sprintf("%s step %d", label, s), ra, ka, rg, kg)
+			}
+		}
+	}
+}
+
+// TestAsmKernelMoverParity compares the recorded (unfinished) movers of
+// AdvanceBlock directly — index order, displacements, bit patterns —
+// before any moveP runs, isolating the crosser mask and displacement
+// stage from the shared mover machinery.
+func TestAsmKernelMoverParity(t *testing.T) {
+	if !AsmAvailable() {
+		t.Skip("assembly kernel unavailable on this build/CPU")
+	}
+	ra, ka := asmParityRig(2013, 7, true)
+	rg, kg := asmParityRig(2013, 7, true)
+	ka.Asm = true
+	var bsA, bsG BlockState
+	accA, _ := blockFixture(ra)
+	accG, _ := blockFixture(rg)
+	// Deliberately lane-misaligned range bounds: spans clipped at both
+	// ends of the range must mask identically.
+	lo, hi := 3, ra.buf.N()-5
+	ka.AdvanceBlock(ra.buf, lo, hi, accA[0], &bsA)
+	kg.AdvanceBlock(rg.buf, lo, hi, accG[0], &bsG)
+	if len(bsA.Movers) == 0 {
+		t.Fatal("population produced no movers; crosser parity not exercised")
+	}
+	if len(bsA.Movers) != len(bsG.Movers) {
+		t.Fatalf("mover counts diverged: asm %d go %d", len(bsA.Movers), len(bsG.Movers))
+	}
+	for i := range bsA.Movers {
+		a, g := bsA.Movers[i], bsG.Movers[i]
+		if a.Idx != g.Idx || !bitEq32(a.DispX, g.DispX) || !bitEq32(a.DispY, g.DispY) || !bitEq32(a.DispZ, g.DispZ) {
+			t.Fatalf("mover %d diverged:\nasm %+v\ngo  %+v", i, a, g)
+		}
+	}
+}
+
+// FuzzAsmGoParity drives randomized small populations (size, seed,
+// thermal spread and sortedness all fuzzed) through one serial step of
+// each kernel and requires bitwise-identical state. `go test` runs the
+// seed corpus; `go test -fuzz=AsmGoParity ./internal/push` explores.
+func FuzzAsmGoParity(f *testing.F) {
+	f.Add(uint16(0), uint64(1), float64(0.3), true)
+	f.Add(uint16(1), uint64(2), float64(0.1), false)
+	f.Add(uint16(17), uint64(3), float64(1.5), true)
+	f.Add(uint16(333), uint64(4), float64(0.7), false)
+	f.Add(uint16(2048), uint64(5), float64(2.0), true)
+	f.Fuzz(func(t *testing.T, n uint16, seed uint64, uth float64, sorted bool) {
+		if !AsmAvailable() {
+			t.Skip("assembly kernel unavailable on this build/CPU")
+		}
+		if math.IsNaN(uth) || math.IsInf(uth, 0) {
+			uth = 0.5
+		}
+		uth = math.Mod(math.Abs(uth), 4)
+		mk := func() (*rig, *Kernel) {
+			r := newRig(6, 5, 4, 0.5)
+			r.smoothFields(0.3)
+			r.loadRandom(int(n%4096), uth, seed)
+			if sorted {
+				sortByVoxel(r.buf)
+			}
+			return r, r.kernel(-1, 1, 0.24)
+		}
+		ra, ka := mk()
+		rg, kg := mk()
+		ka.Asm = true
+		ra.acc.Clear()
+		rg.acc.Clear()
+		ka.AdvanceP(ra.buf)
+		kg.AdvanceP(rg.buf)
+		checkAsmGoState(t, fmt.Sprintf("n=%d seed=%d uth=%g sorted=%v", n, seed, uth, sorted), ra, ka, rg, kg)
+	})
+}

@@ -1,0 +1,35 @@
+//go:build !purego
+
+package push
+
+// asmAvailable gates the AVX2 kernel: the instruction set must exist
+// (CPUID leaf 7 AVX2) and the OS must have enabled saving the YMM
+// half of the registers across context switches (OSXSAVE + XCR0
+// bits 1..2), otherwise the upper lanes are silently corrupted.
+var asmAvailable = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	const xmmYmmState = 0x6
+	if lo, _ := xgetbv0(); lo&xmmYmmState != xmmYmmState {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b&avx2 != 0
+}
+
+// cpuid executes CPUID with the given EAX/ECX inputs.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended-state enable mask (EDX:EAX).
+func xgetbv0() (eax, edx uint32)

@@ -180,19 +180,26 @@ func BenchmarkPushSortedRuns(b *testing.B) {
 		name   string
 		sorted bool
 		lanes  int // 0 = unfused baseline
+		asm    bool
 	}{
-		{"lanes8/sorted", true, particle.Lanes},
-		{"lanes1/sorted", true, 1},
-		{"unfused/sorted", true, 0},
-		{"lanes8/unsorted", false, particle.Lanes},
-		{"lanes1/unsorted", false, 1},
+		{"asm/sorted", true, particle.Lanes, true},
+		{"lanes8/sorted", true, particle.Lanes, false},
+		{"lanes1/sorted", true, 1, false},
+		{"unfused/sorted", true, 0, false},
+		{"asm/unsorted", false, particle.Lanes, true},
+		{"lanes8/unsorted", false, particle.Lanes, false},
+		{"lanes1/unsorted", false, 1, false},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			if c.asm && !AsmAvailable() {
+				b.Skip("assembly kernel unavailable on this build/CPU")
+			}
 			r, k := benchSortedRig(b, n, c.sorted)
 			if c.lanes > 0 {
 				k.Lanes = c.lanes
 			}
+			k.Asm = c.asm
 			// Advancing decays the voxel order, so every iteration restores
 			// the pristine buffer (outside the timer): each measured sweep
 			// sees the exact same run-length distribution.

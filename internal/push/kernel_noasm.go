@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package push
+
+import "govpic/internal/accum"
+import "govpic/internal/particle"
+
+// Non-amd64 builds have no assembly kernel; ResolveKernel never
+// returns "asm" here, and a Kernel with Asm set by hand degrades to
+// the pure-Go lane sweep (which the asm kernel is bit-identical to
+// anyway).
+const asmAvailable = false
+
+func (k *Kernel) advanceRangeLanesAsm(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
+	k.advanceRangeLanes(buf, lo, hi, a, bs)
+}

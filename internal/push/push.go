@@ -203,6 +203,12 @@ type Kernel struct {
 	// bitwise-identical results; see the package comment.
 	Lanes int
 
+	// Asm runs the wide-lane sweep through the hand-written AVX2 span
+	// kernel (amd64 only; see ResolveKernel/AsmAvailable). It is
+	// bitwise identical to the Go lane kernel, so flipping it is a
+	// pure performance ablation. Ignored when Lanes == 1.
+	Asm bool
+
 	// Per-face boundary actions, indexed like field.Face
 	// (XLo,XHi,YLo,YHi,ZLo,ZHi).
 	Bound [6]Action
@@ -360,9 +366,12 @@ func (k *Kernel) AdvanceBlock(buf *particle.Buffer, lo, hi int, acc *accum.Array
 
 // advance dispatches one range sweep to the selected kernel shape.
 func (k *Kernel) advance(buf *particle.Buffer, lo, hi int, a *accum.Array, bs *BlockState) {
-	if k.Lanes > 1 {
+	switch {
+	case k.Lanes > 1 && k.Asm:
+		k.advanceRangeLanesAsm(buf, lo, hi, a, bs)
+	case k.Lanes > 1:
 		k.advanceRangeLanes(buf, lo, hi, a, bs)
-	} else {
+	default:
 		k.advanceRange(buf, lo, hi, a, bs)
 	}
 }

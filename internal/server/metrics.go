@@ -8,6 +8,7 @@ import (
 
 	"govpic/internal/domain"
 	"govpic/internal/perf"
+	"govpic/internal/push"
 	"govpic/internal/valid"
 )
 
@@ -43,6 +44,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pass int
 	}
 	var phys []physRow
+	kernelJobs := map[string]int{}
 	for _, j := range s.jobs {
 		switch j.State {
 		case StateRunning:
@@ -79,6 +81,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if j.Physics != nil {
 			phys = append(phys, physRow{j.ID, b2i(j.Physics.Pass)})
 		}
+		if j.Kernel != "" {
+			kernelJobs[j.Kernel]++
+		}
 	}
 	validRep := s.validRep
 	lines := []string{
@@ -97,6 +102,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("vpicd_particle_advance_rate_mpart_s %.6g", rate),
 		fmt.Sprintf("vpicd_comm_wait_seconds_total %.6f", commWait),
 		fmt.Sprintf("vpicd_comm_overlap_seconds_total %.6f", commOverlap),
+		fmt.Sprintf("vpicd_push_asm_available %d", b2i(push.AsmAvailable())),
+	}
+	// Which resolved push kernel ("asm"/"go") each job actually ran —
+	// the spec may say "auto", so this is the host-side truth.
+	for _, name := range []string{push.KernelAsm, push.KernelGo} {
+		if n := kernelJobs[name]; n > 0 {
+			lines = append(lines, fmt.Sprintf("vpicd_jobs_kernel{kernel=%q} %d", name, n))
+		}
 	}
 	s.mu.Unlock()
 

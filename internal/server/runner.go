@@ -89,6 +89,9 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	j.Kernel = sim.Cfg.Kernel
+	s.mu.Unlock()
 	hist := &diag.History{}
 	// sample appends the current energies to the history and streams the
 	// stored copy (Total filled in by Add) to SSE subscribers.

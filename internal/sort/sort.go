@@ -18,6 +18,8 @@
 package sort
 
 import (
+	"time"
+
 	"govpic/internal/particle"
 	"govpic/internal/pipe"
 )
@@ -34,6 +36,37 @@ type Workspace struct {
 	scratch []particle.Block
 	pool    *pipe.Pool
 	bcounts []int32 // NumBlocks × (nv+1) per-block count/offset matrix
+	chunks  [pipe.NumBlocks + 1]int32
+	passes  Passes
+}
+
+// Passes is the per-pass wall-time breakdown of the sort section —
+// the histogram (count), prefix merge, and scatter phases — summed
+// over every ByVoxel call since the last TakePasses. With the count,
+// merge and scatter passes all parallelized, any residual serial
+// fraction shows up here; this is the Amdahl observability the
+// post-SIMD perf picture needs (once the push is fast, the sort's
+// serial remainder is what bounds the step).
+type Passes struct {
+	CountSeconds   float64
+	MergeSeconds   float64
+	ScatterSeconds float64
+	Sorts          int64 // ByVoxel calls that actually sorted
+}
+
+// Merge accumulates other into p.
+func (p *Passes) Merge(other Passes) {
+	p.CountSeconds += other.CountSeconds
+	p.MergeSeconds += other.MergeSeconds
+	p.ScatterSeconds += other.ScatterSeconds
+	p.Sorts += other.Sorts
+}
+
+// TakePasses returns the accumulated pass breakdown and resets it.
+func (w *Workspace) TakePasses() Passes {
+	p := w.passes
+	w.passes = Passes{}
+	return p
 }
 
 // NewWorkspace sizes a workspace for grids up to nv voxels.
@@ -107,6 +140,7 @@ func (w *Workspace) sortSerial(buf *particle.Buffer, out []particle.Block, nv in
 		w.counts = make([]int32, nv+1)
 	}
 	counts := w.counts[:nv+1]
+	start := time.Now()
 	for i := range counts {
 		counts[i] = 0
 	}
@@ -117,17 +151,25 @@ func (w *Workspace) sortSerial(buf *particle.Buffer, out []particle.Block, nv in
 			counts[blk.Voxel[l]]++
 		}
 	}
+	w.passes.CountSeconds += time.Since(start).Seconds()
+
+	start = time.Now()
 	var sum int32
 	for v := 0; v < nv; v++ {
 		c := counts[v]
 		counts[v] = sum
 		sum += c
 	}
+	w.passes.MergeSeconds += time.Since(start).Seconds()
+
+	start = time.Now()
 	for i := 0; i < n; i++ {
 		v := buf.Voxel(i)
 		place(buf, out, i, counts[v])
 		counts[v]++
 	}
+	w.passes.ScatterSeconds += time.Since(start).Seconds()
+	w.passes.Sorts++
 }
 
 // sortBlocked runs the count and scatter passes per pipeline block.
@@ -141,6 +183,7 @@ func (w *Workspace) sortBlocked(buf *particle.Buffer, out []particle.Block, nv i
 	bc := w.bcounts[: nb*stride : nb*stride]
 
 	// Count pass: each block histograms its contiguous particle range.
+	start := time.Now()
 	w.pool.Run(nb, func(b int) {
 		c := bc[b*stride : (b+1)*stride]
 		for i := range c {
@@ -151,22 +194,52 @@ func (w *Workspace) sortBlocked(buf *particle.Buffer, out []particle.Block, nv i
 			c[buf.Voxel(i)]++
 		}
 	})
+	w.passes.CountSeconds += time.Since(start).Seconds()
 
-	// Serial prefix over (voxel, block): block b's particles of voxel v
-	// land after blocks 0..b−1's, preserving input order (stability).
-	var sum int32
-	for v := 0; v < nv; v++ {
-		for b := 0; b < nb; b++ {
-			idx := b*stride + v
-			c := bc[idx]
-			bc[idx] = sum
-			sum += c
+	// Merge pass: an exclusive prefix over the (voxel, block) count
+	// matrix in voxel-major order — block b's particles of voxel v land
+	// after blocks 0..b−1's, preserving input order (stability). Run in
+	// three phases over fixed voxel chunks so the O(nv·nb) sweep is not
+	// the sort's serial remainder: chunk subtotals in parallel, a serial
+	// exclusive prefix over the nb chunk totals, then each chunk
+	// rewrites its counts to running offsets in parallel. Chunk bounds
+	// depend only on nv and int32 addition is exact and associative, so
+	// the offsets match the serial sweep bit for bit at any worker count.
+	start = time.Now()
+	w.pool.Run(nb, func(k int) {
+		vlo, vhi := pipe.BlockBounds(nv, nb, k)
+		var t int32
+		for v := vlo; v < vhi; v++ {
+			for b := 0; b < nb; b++ {
+				t += bc[b*stride+v]
+			}
 		}
+		w.chunks[k] = t
+	})
+	var sum int32
+	for k := 0; k < nb; k++ {
+		t := w.chunks[k]
+		w.chunks[k] = sum
+		sum += t
 	}
+	w.pool.Run(nb, func(k int) {
+		vlo, vhi := pipe.BlockBounds(nv, nb, k)
+		run := w.chunks[k]
+		for v := vlo; v < vhi; v++ {
+			for b := 0; b < nb; b++ {
+				idx := b*stride + v
+				c := bc[idx]
+				bc[idx] = run
+				run += c
+			}
+		}
+	})
+	w.passes.MergeSeconds += time.Since(start).Seconds()
 
 	// Scatter pass: output windows are disjoint by construction. Two
 	// workers may write different lanes of the same destination block;
 	// lanes are distinct memory words, so the writes do not race.
+	start = time.Now()
 	w.pool.Run(nb, func(b int) {
 		c := bc[b*stride : (b+1)*stride]
 		lo, hi := pipe.BlockBounds(n, nb, b)
@@ -176,6 +249,8 @@ func (w *Workspace) sortBlocked(buf *particle.Buffer, out []particle.Block, nv i
 			c[v]++
 		}
 	})
+	w.passes.ScatterSeconds += time.Since(start).Seconds()
+	w.passes.Sorts++
 }
 
 // IsSorted reports whether the buffer's particles are in ascending

@@ -245,6 +245,59 @@ func TestBlockedSortStabilityAroundThreshold(t *testing.T) {
 	}
 }
 
+func TestBlockedSortTinyVoxelRange(t *testing.T) {
+	// nv smaller than the number of merge chunks: most chunks cover an
+	// empty voxel range and must contribute nothing to the prefix.
+	const n = 2 * parallelMin
+	for _, nv := range []int{1, 3, 7} {
+		for _, workers := range []int{2, 8} {
+			serial := randomBuffer(n, nv, uint64(nv))
+			blocked := randomBuffer(n, nv, uint64(nv))
+			NewWorkspace(nv).ByVoxel(serial, nv)
+			wb := NewWorkspace(nv)
+			wb.SetPool(pipe.New(workers))
+			wb.ByVoxel(blocked, nv)
+			for i := 0; i < n; i++ {
+				if serial.At(i) != blocked.At(i) {
+					t.Fatalf("nv=%d W=%d: slot %d differs", nv, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTakePasses(t *testing.T) {
+	check := func(label string, w *Workspace, sorts int64) {
+		t.Helper()
+		p := w.TakePasses()
+		if p.Sorts != sorts {
+			t.Fatalf("%s: %d sorts recorded, want %d", label, p.Sorts, sorts)
+		}
+		if p.CountSeconds < 0 || p.MergeSeconds < 0 || p.ScatterSeconds < 0 {
+			t.Fatalf("%s: negative pass time %+v", label, p)
+		}
+		if zero := w.TakePasses(); zero != (Passes{}) {
+			t.Fatalf("%s: TakePasses did not reset: %+v", label, zero)
+		}
+	}
+	ws := NewWorkspace(64)
+	ws.ByVoxel(randomBuffer(1000, 64, 5), 64)
+	ws.ByVoxel(randomBuffer(1000, 64, 6), 64)
+	check("serial", ws, 2)
+
+	wb := NewWorkspace(64)
+	wb.SetPool(pipe.New(4))
+	wb.ByVoxel(randomBuffer(2*parallelMin, 64, 7), 64)
+	check("blocked", wb, 1)
+
+	var agg Passes
+	agg.Merge(Passes{CountSeconds: 1, Sorts: 2})
+	agg.Merge(Passes{MergeSeconds: 2, ScatterSeconds: 3, Sorts: 1})
+	if agg.CountSeconds != 1 || agg.MergeSeconds != 2 || agg.ScatterSeconds != 3 || agg.Sorts != 3 {
+		t.Fatalf("Merge wrong: %+v", agg)
+	}
+}
+
 func TestSortPreservesAppendHeadroom(t *testing.T) {
 	// The scratch is allocated with the buffer's capacity, so a sorted
 	// buffer keeps room for migrated-in particles without reallocating.
